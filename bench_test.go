@@ -1,0 +1,208 @@
+// Benchmarks regenerating the paper's evaluation artifacts. One
+// benchmark (family) per table/figure:
+//
+//	BenchmarkTable1Graph*          — input graph generation (Table 1)
+//	BenchmarkTable2Compile*        — compilation producing the LoC table (Table 2)
+//	BenchmarkTable3Trace           — full pipeline with transformation trace (Table 3)
+//	BenchmarkFig6*                 — generated vs manual runtime, every Figure 6 bar
+//	BenchmarkBCGenerated           — the §5.1 Betweenness Centrality run
+//
+// Run with: go test -bench=. -benchmem
+package gmpregel_test
+
+import (
+	"fmt"
+	"testing"
+
+	"gmpregel/internal/algorithms"
+	"gmpregel/internal/bench"
+	"gmpregel/internal/core"
+	"gmpregel/internal/graph"
+	"gmpregel/internal/machine"
+	"gmpregel/internal/pregel"
+)
+
+// benchScale keeps benchmark graphs moderate (~10-16k vertices);
+// increase via cmd/gmbench -scale for larger studies.
+const benchScale = 2
+
+func BenchmarkTable1GraphTwitter(b *testing.B)   { benchGraph(b, "twitter") }
+func BenchmarkTable1GraphBipartite(b *testing.B) { benchGraph(b, "bipartite") }
+func BenchmarkTable1GraphSk2005(b *testing.B)    { benchGraph(b, "sk2005") }
+
+func benchGraph(b *testing.B, name string) {
+	spec, err := bench.GraphByName(name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var g *graph.Directed
+	for i := 0; i < b.N; i++ {
+		g = spec.Build(benchScale)
+	}
+	b.ReportMetric(float64(g.NumEdges()), "edges")
+}
+
+func BenchmarkTable2CompileAll(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, name := range algorithms.Names {
+			if _, err := core.Compile(algorithms.ByName[name], core.Options{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func BenchmarkTable3Trace(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		c, err := core.Compile(algorithms.BC, core.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !c.Trace.Applied(core.RuleBFSTraversal) {
+			b.Fatal("trace lost")
+		}
+	}
+}
+
+// fig6Fixture caches graphs/inputs across benchmark runs.
+type fig6Fixture struct {
+	g  *graph.Directed
+	in *bench.Inputs
+}
+
+var fig6Cache = map[string]*fig6Fixture{}
+
+func fig6Setup(b *testing.B, gname string) *fig6Fixture {
+	b.Helper()
+	if f, ok := fig6Cache[gname]; ok {
+		return f
+	}
+	spec, err := bench.GraphByName(gname)
+	if err != nil {
+		b.Fatal(err)
+	}
+	g := spec.Build(benchScale)
+	boys := 0
+	if spec.BipartiteBoys != nil {
+		boys = spec.BipartiteBoys(benchScale)
+	}
+	f := &fig6Fixture{g: g, in: bench.MakeInputs(g, boys, 8)}
+	fig6Cache[gname] = f
+	return f
+}
+
+func benchFig6(b *testing.B, algo, gname string, generated bool) {
+	f := fig6Setup(b, gname)
+	p := bench.DefaultParams()
+	cfg := pregel.Config{NumWorkers: 8, Seed: 1}
+	var msgs int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var out bench.Outcome
+		var err error
+		if generated {
+			out, err = bench.RunGenerated(algo, f.g, f.in, p, cfg, 1)
+		} else {
+			out, err = bench.RunManual(algo, f.g, f.in, p, cfg, 1)
+		}
+		if err != nil {
+			b.Fatal(err)
+		}
+		msgs = out.Stats.MessagesSent
+	}
+	b.ReportMetric(float64(msgs), "msgs")
+}
+
+func BenchmarkFig6AvgTeenTwitterManual(b *testing.B)    { benchFig6(b, "avgteen", "twitter", false) }
+func BenchmarkFig6AvgTeenTwitterGenerated(b *testing.B) { benchFig6(b, "avgteen", "twitter", true) }
+func BenchmarkFig6AvgTeenWebManual(b *testing.B)        { benchFig6(b, "avgteen", "sk2005", false) }
+func BenchmarkFig6AvgTeenWebGenerated(b *testing.B)     { benchFig6(b, "avgteen", "sk2005", true) }
+
+func BenchmarkFig6PageRankTwitterManual(b *testing.B)    { benchFig6(b, "pagerank", "twitter", false) }
+func BenchmarkFig6PageRankTwitterGenerated(b *testing.B) { benchFig6(b, "pagerank", "twitter", true) }
+func BenchmarkFig6PageRankWebManual(b *testing.B)        { benchFig6(b, "pagerank", "sk2005", false) }
+func BenchmarkFig6PageRankWebGenerated(b *testing.B)     { benchFig6(b, "pagerank", "sk2005", true) }
+
+func BenchmarkFig6ConductanceTwitterManual(b *testing.B) {
+	benchFig6(b, "conductance", "twitter", false)
+}
+func BenchmarkFig6ConductanceTwitterGenerated(b *testing.B) {
+	benchFig6(b, "conductance", "twitter", true)
+}
+func BenchmarkFig6ConductanceWebManual(b *testing.B)    { benchFig6(b, "conductance", "sk2005", false) }
+func BenchmarkFig6ConductanceWebGenerated(b *testing.B) { benchFig6(b, "conductance", "sk2005", true) }
+
+func BenchmarkFig6SSSPTwitterManual(b *testing.B)    { benchFig6(b, "sssp", "twitter", false) }
+func BenchmarkFig6SSSPTwitterGenerated(b *testing.B) { benchFig6(b, "sssp", "twitter", true) }
+func BenchmarkFig6SSSPWebManual(b *testing.B)        { benchFig6(b, "sssp", "sk2005", false) }
+func BenchmarkFig6SSSPWebGenerated(b *testing.B)     { benchFig6(b, "sssp", "sk2005", true) }
+
+func BenchmarkFig6BipartiteManual(b *testing.B)    { benchFig6(b, "bipartite", "bipartite", false) }
+func BenchmarkFig6BipartiteGenerated(b *testing.B) { benchFig6(b, "bipartite", "bipartite", true) }
+
+func BenchmarkBCGenerated(b *testing.B) {
+	c, err := bench.CompiledProgram("bc")
+	if err != nil {
+		b.Fatal(err)
+	}
+	spec, _ := bench.GraphByName("sk2005")
+	g := spec.Build(benchScale)
+	bind := machine.Bindings{Int: map[string]int64{"K": 4}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := machine.Run(c.Program, g, bind, pregel.Config{NumWorkers: 8, Seed: 3}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEngineScaling measures the engine's worker scaling on
+// PageRank (an ablation for DESIGN.md's engine design notes).
+func BenchmarkEngineScaling(b *testing.B) {
+	for _, w := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			f := fig6Setup(b, "twitter")
+			p := bench.DefaultParams()
+			cfg := pregel.Config{NumWorkers: w, Seed: 1}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := bench.RunGenerated("pagerank", f.g, f.in, p, cfg, 1); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkCombinerAblation measures the engine's optional message
+// combiners on SSSP (an ablation beyond the paper: its compiler never
+// installs combiners, which is why Figure 6 runs without them).
+func BenchmarkCombinerAblation(b *testing.B) {
+	c, err := bench.CompiledProgram("sssp")
+	if err != nil {
+		b.Fatal(err)
+	}
+	f := fig6Setup(b, "twitter")
+	bind := machine.Bindings{
+		Node:        map[string]graph.NodeID{"root": f.in.Root},
+		EdgePropInt: map[string][]int64{"len": f.in.EdgeLen},
+	}
+	for _, combine := range []bool{false, true} {
+		name := "combiners=off"
+		if combine {
+			name = "combiners=on"
+		}
+		b.Run(name, func(b *testing.B) {
+			var msgs int64
+			for i := 0; i < b.N; i++ {
+				res, err := machine.RunWithOptions(c.Program, f.g, bind,
+					pregel.Config{NumWorkers: 8, Seed: 1}, machine.RunOptions{UseCombiners: combine})
+				if err != nil {
+					b.Fatal(err)
+				}
+				msgs = res.Stats.MessagesSent
+			}
+			b.ReportMetric(float64(msgs), "msgs")
+		})
+	}
+}

@@ -1,0 +1,81 @@
+// Command gmbench regenerates the paper's evaluation artifacts:
+//
+//	gmbench -table 1       input graph statistics (Table 1)
+//	gmbench -table 2       lines-of-code comparison (Table 2)
+//	gmbench -table 3       transformations applied per algorithm (Table 3)
+//	gmbench -figure6       generated-vs-manual runtime/steps/bytes (Figure 6)
+//	gmbench -bc            the §5.1 Betweenness Centrality experiment
+//	gmbench -all           everything
+//
+// -scale multiplies graph sizes (scale 1 ≈ 5-8k vertices per graph);
+// -workers, -trials and -seed control the engine runs.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"gmpregel/internal/bench"
+)
+
+func main() {
+	var (
+		table    = flag.Int("table", 0, "regenerate table 1, 2, or 3")
+		figure6  = flag.Bool("figure6", false, "regenerate Figure 6")
+		bc       = flag.Bool("bc", false, "run the Betweenness Centrality compilation experiment")
+		ablation = flag.Bool("ablation", false, "measure optimization and combiner ablations")
+		activity = flag.Bool("activity", false, "measure the SSSP per-superstep active-vertex profile (§5.2)")
+		all      = flag.Bool("all", false, "regenerate everything")
+		scale    = flag.Int("scale", 2, "graph scale multiplier")
+		workers  = flag.Int("workers", 8, "engine workers")
+		trials   = flag.Int("trials", 3, "timing trials (minimum is reported)")
+		seed     = flag.Int64("seed", 1, "random seed")
+	)
+	flag.Parse()
+	if !*all && *table == 0 && !*figure6 && !*bc && !*ablation && !*activity {
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+	w := os.Stdout
+	fail := func(err error) {
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "gmbench: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if *all || *table == 1 {
+		_, err := bench.Table1(w, *scale)
+		fail(err)
+		fmt.Fprintln(w)
+	}
+	if *all || *table == 2 {
+		_, err := bench.Table2(w)
+		fail(err)
+		fmt.Fprintln(w)
+	}
+	if *all || *table == 3 {
+		_, err := bench.Table3(w)
+		fail(err)
+		fmt.Fprintln(w)
+	}
+	if *all || *figure6 {
+		_, err := bench.Figure6(w, *scale, *workers, *trials, *seed)
+		fail(err)
+		fmt.Fprintln(w)
+	}
+	if *all || *bc {
+		_, err := bench.BCExperiment(w, *scale, *workers, *seed)
+		fail(err)
+		fmt.Fprintln(w)
+	}
+	if *all || *ablation {
+		_, err := bench.Ablation(w, *scale, *workers, *trials, *seed)
+		fail(err)
+		fmt.Fprintln(w)
+	}
+	if *all || *activity {
+		_, err := bench.SSSPActivity(w, *scale, *workers, *seed)
+		fail(err)
+	}
+}

@@ -1,0 +1,59 @@
+// Centrality: compile Approximate Betweenness Centrality — the program
+// the paper calls prohibitively difficult to hand-code for Pregel — and
+// find the most central vertices of a web-like graph.
+//
+// The compiler lowers the InBFS/InReverse traversal into level-
+// synchronous frontier expansion, flips the sigma and delta
+// accumulations into message pushes, builds incoming-neighbor lists for
+// the reverse sweep, and produces a nine-kernel state machine with four
+// message types (§5.1).
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"gmpregel"
+	"gmpregel/internal/algorithms"
+)
+
+func main() {
+	prog, err := gmpregel.Compile(algorithms.BC, gmpregel.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("compiled %q: %d vertex-centric kernels, %d message types\n",
+		prog.Name(), prog.NumVertexStates(), prog.NumMessageTypes())
+	fmt.Println("\nPregel-canonical form produced by the transformations:")
+	fmt.Println(prog.CanonicalSource())
+
+	g := gmpregel.WebLikeGraph(14, 16, 11) // 16384 vertices
+	fmt.Printf("web graph: %d nodes, %d edges\n", g.NumNodes(), g.NumEdges())
+
+	res, err := prog.Run(g, gmpregel.Bindings{
+		Int: map[string]int64{"K": 8}, // 8 random BFS sources
+	}, gmpregel.Config{NumWorkers: 8, Seed: 5})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("ran in %d supersteps, %d messages\n\n", res.Stats.Supersteps, res.Stats.MessagesSent)
+
+	bc, err := res.NodePropFloat("BC")
+	if err != nil {
+		log.Fatal(err)
+	}
+	type scored struct {
+		id int
+		bc float64
+	}
+	all := make([]scored, len(bc))
+	for v := range bc {
+		all[v] = scored{v, bc[v]}
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].bc > all[j].bc })
+	fmt.Println("top 10 vertices by approximate betweenness centrality:")
+	for i := 0; i < 10 && i < len(all); i++ {
+		fmt.Printf("  #%2d  vertex %6d  bc %.1f\n", i+1, all[i].id, all[i].bc)
+	}
+}

@@ -1,0 +1,199 @@
+package gmpregel_test
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"gmpregel"
+	"gmpregel/internal/algorithms"
+)
+
+const facadeSrc = `
+Procedure double_rank(G: Graph, score: Node_Prop<Int>) : Int {
+    Foreach (n: G.Nodes) {
+        Foreach (t: n.Nbrs) {
+            t.score += 1;
+        }
+    }
+    Int total = 0;
+    total = Sum(n: G.Nodes)(n.score);
+    Return total;
+}
+`
+
+func TestFacadeCompileAndRun(t *testing.T) {
+	prog, err := gmpregel.Compile(facadeSrc, gmpregel.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog.Name() != "double_rank" {
+		t.Errorf("name = %q", prog.Name())
+	}
+	if prog.NumVertexStates() == 0 || prog.NumMessageTypes() == 0 {
+		t.Error("program structure empty")
+	}
+	g := gmpregel.RandomGraph(100, 500, 3)
+	res, err := prog.Run(g, gmpregel.Bindings{}, gmpregel.Config{NumWorkers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every vertex's score equals its in-degree; the total is the edge
+	// count.
+	if !res.HasRet || res.Ret.AsInt() != g.NumEdges() {
+		t.Errorf("total = %v, want %d", res.Ret, g.NumEdges())
+	}
+	score, err := res.NodePropInt("score")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := gmpregel.NodeID(0); int(v) < g.NumNodes(); v++ {
+		if score[v] != int64(g.InDegree(v)) {
+			t.Fatalf("score[%d] = %d, want in-degree %d", v, score[v], g.InDegree(v))
+		}
+	}
+}
+
+func TestFacadeInspectors(t *testing.T) {
+	prog, err := gmpregel.Compile(algorithms.SSSP, gmpregel.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(prog.JavaSource(), "class Message") {
+		t.Error("JavaSource missing message class")
+	}
+	if !strings.Contains(prog.StateMachine(), "vertex") {
+		t.Error("StateMachine listing empty")
+	}
+	if !strings.Contains(prog.CanonicalSource(), "Procedure sssp") {
+		t.Error("CanonicalSource missing procedure")
+	}
+	tbl := prog.TransformationTable()
+	if !strings.Contains(tbl, "[x] Edge Property") {
+		t.Errorf("transformation table wrong:\n%s", tbl)
+	}
+}
+
+func TestFacadeCompileFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "prog.gm")
+	if err := os.WriteFile(path, []byte(facadeSrc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	prog, err := gmpregel.CompileFile(path, gmpregel.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog.Name() != "double_rank" {
+		t.Errorf("name = %q", prog.Name())
+	}
+	if _, err := gmpregel.CompileFile(filepath.Join(dir, "missing.gm"), gmpregel.Options{}); err == nil {
+		t.Error("missing file should error")
+	}
+}
+
+func TestFacadeCompileErrors(t *testing.T) {
+	cases := []string{
+		"not a program",
+		`Procedure f(G: Graph) { undefined_var = 3; }`,
+		`Procedure f(K: Int) { }`, // no graph
+	}
+	for _, src := range cases {
+		if _, err := gmpregel.Compile(src, gmpregel.Options{}); err == nil {
+			t.Errorf("source %q should fail to compile", src)
+		}
+	}
+}
+
+func TestFacadeGraphHelpers(t *testing.T) {
+	b := gmpregel.NewGraphBuilder(3)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	g := b.Build()
+	var buf bytes.Buffer
+	if err := gmpregel.WriteEdgeList(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := gmpregel.ReadEdgeList(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumNodes() != 3 || g2.NumEdges() != 2 {
+		t.Errorf("round trip = (%d,%d)", g2.NumNodes(), g2.NumEdges())
+	}
+	if tg := gmpregel.TwitterLikeGraph(100, 4, 1); tg.NumNodes() != 100 {
+		t.Error("twitter generator")
+	}
+	if bg := gmpregel.BipartiteGraph(10, 20, 2, 1); bg.NumNodes() != 30 {
+		t.Error("bipartite generator")
+	}
+	if wg := gmpregel.WebLikeGraph(8, 4, 1); wg.NumNodes() != 256 {
+		t.Error("web generator")
+	}
+}
+
+// TestAllBuiltinAlgorithmsViaFacade compiles and runs each of the
+// paper's programs through the public API only.
+func TestAllBuiltinAlgorithmsViaFacade(t *testing.T) {
+	g := gmpregel.TwitterLikeGraph(200, 5, 2)
+	ages := make([]int64, 200)
+	for v := range ages {
+		ages[v] = int64(10 + v%55)
+	}
+	prog, err := gmpregel.Compile(algorithms.AvgTeen, gmpregel.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := prog.Run(g, gmpregel.Bindings{
+		Int:         map[string]int64{"K": 30},
+		NodePropInt: map[string][]int64{"age": ages},
+	}, gmpregel.Config{NumWorkers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Supersteps != 2 {
+		t.Errorf("supersteps = %d, want 2", res.Stats.Supersteps)
+	}
+}
+
+func TestArtifactSaveAndLoad(t *testing.T) {
+	prog, err := gmpregel.Compile(algorithms.SSSP, gmpregel.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := prog.SaveArtifact(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := gmpregel.LoadArtifact(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.StateMachine() != prog.StateMachine() {
+		t.Error("artifact listing differs")
+	}
+	if loaded.CanonicalSource() != "" || loaded.TransformationTable() != "" {
+		t.Error("loaded artifacts have no source-level inspectors")
+	}
+	// And it runs.
+	g := gmpregel.WebLikeGraph(7, 4, 1)
+	lengths := make([]int64, g.NumEdges())
+	for e := range lengths {
+		lengths[e] = 1
+	}
+	res, err := loaded.Run(g, gmpregel.Bindings{
+		Node:        map[string]gmpregel.NodeID{"root": 0},
+		EdgePropInt: map[string][]int64{"len": lengths},
+	}, gmpregel.Config{NumWorkers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Supersteps == 0 {
+		t.Error("loaded program did not run")
+	}
+	if _, err := gmpregel.LoadArtifact(strings.NewReader("junk")); err == nil {
+		t.Error("junk artifact should fail to load")
+	}
+}

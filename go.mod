@@ -1,0 +1,3 @@
+module gmpregel
+
+go 1.22

@@ -1,0 +1,101 @@
+package core
+
+import (
+	"gmpregel/internal/gm/ast"
+	"gmpregel/internal/gm/parser"
+	"gmpregel/internal/gm/sema"
+	"gmpregel/internal/machine"
+)
+
+// Options controls optional compilation steps.
+type Options struct {
+	// DisableStateMerging turns off the §4.2 State Merging optimization.
+	DisableStateMerging bool
+	// DisableIntraLoopMerge turns off the §4.2 Intra-Loop State Merging
+	// optimization.
+	DisableIntraLoopMerge bool
+}
+
+// Compiled is the result of compiling one Green-Marl procedure.
+type Compiled struct {
+	// Source is the original Green-Marl text.
+	Source string
+	// Original is the parsed, untransformed procedure.
+	Original *ast.Procedure
+	// Canonical is the Pregel-canonical form after all §4.1
+	// transformations.
+	Canonical *ast.Procedure
+	// Info is the semantic information of the canonical form.
+	Info *sema.Info
+	// Program is the executable Pregel program.
+	Program *machine.Program
+	// Trace records the applied rules (Table 3).
+	Trace *Trace
+}
+
+// Compile parses and compiles a single Green-Marl procedure into a
+// Pregel program.
+func Compile(src string, opts Options) (*Compiled, error) {
+	proc, err := parser.ParseProcedure(src)
+	if err != nil {
+		return nil, err
+	}
+	c, err := CompileProcedure(proc, opts)
+	if err != nil {
+		return nil, err
+	}
+	c.Source = src
+	return c, nil
+}
+
+// CompileProcedure compiles an already-parsed procedure. The input tree
+// is not modified.
+func CompileProcedure(proc *ast.Procedure, opts Options) (*Compiled, error) {
+	if _, err := sema.Check(proc); err != nil {
+		return nil, err
+	}
+	original := proc
+	work := proc.Clone()
+	trace := &Trace{}
+	nz := &normalizer{proc: work, nm: newNamer(work), trace: trace}
+
+	// The paper's Fig. 1 pipeline.
+	nz.lowerBFS()
+	nz.lowerBulkAssigns()
+	nz.lowerSeqReduces()
+	nz.lowerParReduces()
+	nz.lowerRandomAccess()
+	nz.canonicalize()
+	if nz.err != nil {
+		return nil, nz.err
+	}
+	info, err := sema.Check(work)
+	if err != nil {
+		return nil, errf("internal: canonical form fails sema: %v", err)
+	}
+
+	prog, err := translate(work, info, trace)
+	if err != nil {
+		return nil, err
+	}
+	if !opts.DisableStateMerging {
+		mergeStates(prog, trace)
+	}
+	if !opts.DisableIntraLoopMerge {
+		intraLoopMerge(prog, trace)
+	}
+	if err := prog.Validate(); err != nil {
+		return nil, errf("internal: optimized program invalid: %v", err)
+	}
+	return &Compiled{
+		Original:  original,
+		Canonical: work,
+		Info:      info,
+		Program:   prog,
+		Trace:     trace,
+	}, nil
+}
+
+// PrintCanonical renders the Pregel-canonical form of a compiled
+// procedure as Green-Marl source.
+func PrintCanonical(c *Compiled) string { return ast.Print(c.Canonical) }

@@ -1,0 +1,256 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"gmpregel/internal/algorithms"
+	"gmpregel/internal/graph"
+	"gmpregel/internal/graph/gen"
+	"gmpregel/internal/machine"
+	"gmpregel/internal/pregel"
+	"gmpregel/internal/seq"
+)
+
+func compileOK(t *testing.T, src string, opts Options) *Compiled {
+	t.Helper()
+	c, err := Compile(src, opts)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	return c
+}
+
+func TestCompileAllPaperAlgorithms(t *testing.T) {
+	for _, name := range algorithms.Names {
+		t.Run(name, func(t *testing.T) {
+			c := compileOK(t, algorithms.ByName[name], Options{})
+			if c.Program.NumVertexStates() == 0 {
+				t.Error("no vertex states generated")
+			}
+			if err := c.Program.Validate(); err != nil {
+				t.Errorf("invalid program: %v", err)
+			}
+		})
+	}
+}
+
+func runCompiled(t *testing.T, c *Compiled, g *graph.Directed, b machine.Bindings) *machine.Result {
+	t.Helper()
+	res, err := machine.Run(c.Program, g, b, pregel.Config{NumWorkers: 3, Seed: 42})
+	if err != nil {
+		t.Fatalf("run: %v\nprogram:\n%s", err, c.Program)
+	}
+	return res
+}
+
+func TestAvgTeenEndToEnd(t *testing.T) {
+	c := compileOK(t, algorithms.AvgTeen, Options{})
+	g := gen.Random(60, 300, 7)
+	age := make([]int64, 60)
+	for v := range age {
+		age[v] = int64((v*13 + 5) % 60)
+	}
+	res := runCompiled(t, c, g, machine.Bindings{
+		Int:         map[string]int64{"K": 25},
+		NodePropInt: map[string][]int64{"age": age},
+	})
+	wantCnt, wantAvg := seq.AvgTeen(g, age, 25)
+	gotCnt, err := res.NodePropInt("teen_cnt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range wantCnt {
+		if gotCnt[v] != wantCnt[v] {
+			t.Fatalf("teen_cnt[%d] = %d, want %d\n%s", v, gotCnt[v], wantCnt[v], c.Program)
+		}
+	}
+	if !res.HasRet {
+		t.Fatal("no return value")
+	}
+	if math.Abs(res.Ret.AsFloat()-wantAvg) > 1e-9 {
+		t.Errorf("avg = %v, want %v", res.Ret.AsFloat(), wantAvg)
+	}
+	// Table 3 expectations for AvgTeen.
+	for _, r := range []Rule{RuleStateMachine, RuleGlobalObject, RuleNeighborhoodComm, RuleFlipEdges, RuleDissectLoops, RuleMessageClassGen} {
+		if !c.Trace.Applied(r) {
+			t.Errorf("expected rule %s to fire", r)
+		}
+	}
+	if c.Trace.Applied(RuleIncomingNbrs) {
+		t.Error("AvgTeen should flip InNbrs to OutNbrs pushes, not build in-neighbor lists")
+	}
+}
+
+func TestPageRankEndToEnd(t *testing.T) {
+	c := compileOK(t, algorithms.PageRank, Options{})
+	g := gen.TwitterLike(120, 4, 11)
+	res := runCompiled(t, c, g, machine.Bindings{
+		Float: map[string]float64{"e": 1e-9, "d": 0.85},
+		Int:   map[string]int64{"max_iter": 30},
+	})
+	want := seq.PageRank(g, 1e-9, 0.85, 30)
+	got, err := res.NodePropFloat("pg_rank")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range want {
+		if math.Abs(got[v]-want[v]) > 1e-9 {
+			t.Fatalf("pg_rank[%d] = %v, want %v", v, got[v], want[v])
+		}
+	}
+}
+
+func TestConductanceEndToEnd(t *testing.T) {
+	c := compileOK(t, algorithms.Conductance, Options{})
+	g := gen.Random(80, 500, 3)
+	member := make([]int64, 80)
+	for v := range member {
+		member[v] = int64(v % 3)
+	}
+	res := runCompiled(t, c, g, machine.Bindings{
+		Int:         map[string]int64{"num": 1},
+		NodePropInt: map[string][]int64{"member": member},
+	})
+	want := seq.Conductance(g, member, 1)
+	if !res.HasRet {
+		t.Fatal("no return value")
+	}
+	if math.Abs(res.Ret.AsFloat()-want) > 1e-12 {
+		t.Errorf("conductance = %v, want %v", res.Ret.AsFloat(), want)
+	}
+	if !c.Trace.Applied(RuleIncomingNbrs) {
+		t.Error("conductance's crossing-edge count must push along in-edges")
+	}
+}
+
+func TestSSSPEndToEnd(t *testing.T) {
+	c := compileOK(t, algorithms.SSSP, Options{})
+	g := gen.WebLike(8, 6, 5) // 256 nodes
+	m := g.NumEdges()
+	length := make([]int64, m)
+	for e := range length {
+		length[e] = int64(1 + (e*7)%10)
+	}
+	res := runCompiled(t, c, g, machine.Bindings{
+		Node:        map[string]graph.NodeID{"root": 0},
+		EdgePropInt: map[string][]int64{"len": length},
+	})
+	want := seq.SSSP(g, 0, length)
+	got, err := res.NodePropInt("dist")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range want {
+		if got[v] != want[v] {
+			t.Fatalf("dist[%d] = %d, want %d", v, got[v], want[v])
+		}
+	}
+	if !c.Trace.Applied(RuleEdgeProperty) {
+		t.Error("SSSP must use the Edge Property rule")
+	}
+}
+
+func TestBipartiteEndToEnd(t *testing.T) {
+	c := compileOK(t, algorithms.Bipartite, Options{})
+	const boys, girls = 60, 70
+	g := gen.Bipartite(boys, girls, 4, 9)
+	isBoy := make([]bool, boys+girls)
+	for v := 0; v < boys; v++ {
+		isBoy[v] = true
+	}
+	res := runCompiled(t, c, g, machine.Bindings{
+		NodePropBool: map[string][]bool{"is_boy": isBoy},
+	})
+	matchRaw, err := res.NodePropInt("match")
+	if err != nil {
+		t.Fatal(err)
+	}
+	match := make([]graph.NodeID, len(matchRaw))
+	for v, m := range matchRaw {
+		match[v] = graph.NodeID(m)
+	}
+	if msg := seq.ValidateMatching(g, isBoy, match); msg != "" {
+		t.Fatalf("invalid matching: %s", msg)
+	}
+	var pairs int64
+	for v := 0; v < boys; v++ {
+		if match[v] != graph.NilNode {
+			pairs++
+		}
+	}
+	if !res.HasRet || res.Ret.AsInt() != pairs {
+		t.Errorf("returned count = %v, want %d", res.Ret, pairs)
+	}
+	greedy := seq.GreedyMatching(g, isBoy)
+	if pairs*2 < greedy.Count {
+		t.Errorf("matching size %d below half of greedy %d", pairs, greedy.Count)
+	}
+	if !c.Trace.Applied(RuleRandomWrite) {
+		t.Error("bipartite matching must use the Random Writing rule")
+	}
+}
+
+func TestBCEndToEnd(t *testing.T) {
+	c := compileOK(t, algorithms.BC, Options{})
+	g := gen.WebLike(7, 5, 13) // 128 nodes
+	res := runCompiled(t, c, g, machine.Bindings{
+		Int: map[string]int64{"K": 3},
+	})
+	got, err := res.NodePropFloat("BC")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The compiled program picks sources with the master RNG (Seed 42);
+	// recover them by re-running the same RNG sequence.
+	sources := pickSources(g.NumNodes(), 3, 42)
+	want := seq.BCApprox(g, sources)
+	for v := range want {
+		if math.Abs(got[v]-want[v]) > 1e-6*(1+math.Abs(want[v])) {
+			t.Fatalf("BC[%d] = %v, want %v (sources %v)", v, got[v], want[v], sources)
+		}
+	}
+	for _, r := range []Rule{RuleBFSTraversal, RuleRandomAccessSeq, RuleIncomingNbrs} {
+		if !c.Trace.Applied(r) {
+			t.Errorf("expected rule %s to fire", r)
+		}
+	}
+}
+
+// pickSources mirrors the master RNG sequence of pregel.Config{Seed}.
+func pickSources(n, k int, seed int64) []graph.NodeID {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]graph.NodeID, k)
+	for i := range out {
+		out[i] = graph.NodeID(rng.Intn(n))
+	}
+	return out
+}
+
+// TestArtifactRoundTripAllAlgorithms serializes and reloads every
+// compiled program; the reloaded artifact must validate and list
+// identically.
+func TestArtifactRoundTripAllAlgorithms(t *testing.T) {
+	all := map[string]string{}
+	for k, v := range algorithms.ByName {
+		all[k] = v
+	}
+	for k, v := range algorithms.ExtraByName {
+		all[k] = v
+	}
+	for name, src := range all {
+		c := compileOK(t, src, Options{})
+		data, err := machine.EncodeProgram(c.Program)
+		if err != nil {
+			t.Fatalf("%s: encode: %v", name, err)
+		}
+		p2, err := machine.DecodeProgram(data)
+		if err != nil {
+			t.Fatalf("%s: decode: %v", name, err)
+		}
+		if c.Program.String() != p2.String() {
+			t.Errorf("%s: listing changed across artifact round trip", name)
+		}
+	}
+}

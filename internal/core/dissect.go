@@ -1,0 +1,378 @@
+package core
+
+import (
+	"gmpregel/internal/gm/ast"
+)
+
+// canonicalize runs the §4.1 transformations that turn non-canonical
+// vertex loops into Pregel-canonical form: Dissecting Nested Loops
+// (replace outer-scoped scalars with temporary properties, then split
+// the outer loop so that each pull-loop stands alone) followed by
+// Flipping Edges (turn message pulling into message pushing).
+func (nz *normalizer) canonicalize() {
+	if !nz.recheck() {
+		return
+	}
+	nz.proc.Body = nz.dissectBlock(nz.proc.Body)
+	if nz.err != nil {
+		return
+	}
+	if !nz.recheck() {
+		return
+	}
+	nz.flipAll()
+}
+
+// ---- Dissecting Nested Loops ----
+
+func (nz *normalizer) dissectBlock(b *ast.Block) *ast.Block {
+	var out []ast.Stmt
+	for _, s := range b.Stmts {
+		switch s := s.(type) {
+		case *ast.Foreach:
+			if s.Kind == ast.IterNodes {
+				out = append(out, nz.dissectLoop(s)...)
+			} else {
+				out = append(out, s)
+			}
+		case *ast.If:
+			s.Then = nz.dissectBlock(asBlock(s.Then))
+			if s.Else != nil {
+				s.Else = nz.dissectBlock(asBlock(s.Else))
+			}
+			out = append(out, s)
+		case *ast.While:
+			s.Body = nz.dissectBlock(asBlock(s.Body))
+			out = append(out, s)
+		case *ast.Block:
+			out = append(out, nz.dissectBlock(s))
+		default:
+			out = append(out, s)
+		}
+		if nz.err != nil {
+			return b
+		}
+	}
+	b.Stmts = out
+	return b
+}
+
+// innerLoopsOf returns the neighbor loops that are direct children of
+// the body (possibly nested under Ifs).
+func innerLoopsOf(body *ast.Block) []*ast.Foreach {
+	var loops []*ast.Foreach
+	var visit func(ss []ast.Stmt)
+	visit = func(ss []ast.Stmt) {
+		for _, s := range ss {
+			switch s := s.(type) {
+			case *ast.Foreach:
+				if s.Kind != ast.IterNodes {
+					loops = append(loops, s)
+				}
+			case *ast.If:
+				visit(asBlock(s.Then).Stmts)
+				if s.Else != nil {
+					visit(asBlock(s.Else).Stmts)
+				}
+			case *ast.Block:
+				visit(s.Stmts)
+			}
+		}
+	}
+	visit(body.Stmts)
+	return loops
+}
+
+// scalarWrittenInInner reports whether the named scalar is assigned
+// inside any inner neighbor loop of body.
+func scalarWrittenInInner(body *ast.Block, name string) bool {
+	for _, il := range innerLoopsOf(body) {
+		written := false
+		ast.WalkStmts(il.Body, func(s ast.Stmt) bool {
+			if a, ok := s.(*ast.Assign); ok {
+				if id, ok := a.LHS.(*ast.Ident); ok && id.Name == name {
+					written = true
+				}
+			}
+			return !written
+		})
+		if written {
+			return true
+		}
+	}
+	return false
+}
+
+// isPullLoop reports whether the inner loop writes a property of the
+// outer iterator (message pulling).
+func isPullLoop(il *ast.Foreach, outerIter string) bool {
+	pull := false
+	ast.WalkStmts(il.Body, func(s ast.Stmt) bool {
+		if a, ok := s.(*ast.Assign); ok {
+			if pa, ok := a.LHS.(*ast.PropAccess); ok {
+				if id, ok := pa.Target.(*ast.Ident); ok && id.Name == outerIter {
+					pull = true
+				}
+			}
+		}
+		return !pull
+	})
+	return pull
+}
+
+// dissectLoop applies the two dissection steps to one outer loop and
+// returns its replacement statement sequence (possibly just the loop
+// itself).
+func (nz *normalizer) dissectLoop(f *ast.Foreach) []ast.Stmt {
+	body := asBlock(f.Body)
+	f.Body = body
+	var hoisted []ast.Stmt
+
+	// Step 1: outer-body scalars written inside inner loops become
+	// temporary vertex properties.
+	changed := true
+	for changed {
+		changed = false
+		for i, s := range body.Stmts {
+			d, ok := s.(*ast.VarDecl)
+			if !ok || d.Type.Kind.IsProp() || d.Type.Kind == ast.TEdge {
+				continue
+			}
+			name := d.Names[0]
+			if len(d.Names) != 1 || !scalarWrittenInInner(body, name) {
+				continue
+			}
+			tmp := nz.nm.fresh("_t")
+			hoisted = append(hoisted, &ast.VarDecl{Type: nodePropType(d.Type.Kind), Names: []string{tmp}, P: d.P})
+			// Replace the declaration with an initialization of the
+			// temporary property (if it had an initializer).
+			if d.Init != nil {
+				body.Stmts[i] = &ast.Assign{LHS: propOf(ident(f.Iter), tmp), Op: ast.OpSet, RHS: d.Init, P: d.P}
+			} else {
+				body.Stmts[i] = &ast.Block{P: d.P} // empty placeholder
+			}
+			// Rewrite all uses of the scalar to the property.
+			for j := range body.Stmts {
+				if j == i {
+					continue
+				}
+				replaceIdentInStmt(body.Stmts[j], name, propOf(ident(f.Iter), tmp))
+				rewriteAssignTargets(body.Stmts[j], name, f.Iter, tmp)
+			}
+			nz.trace.Record(RuleDissectLoops)
+			changed = true
+			break
+		}
+	}
+	body.Stmts = dropEmptyBlocks(body.Stmts)
+
+	// Step 2: split the loop so each pull-loop is the sole statement of
+	// its own outer loop.
+	var pullSeen bool
+	for _, s := range body.Stmts {
+		if il, ok := s.(*ast.Foreach); ok && il.Kind != ast.IterNodes && isPullLoop(il, f.Iter) {
+			pullSeen = true
+		}
+	}
+	// Pull loops nested under Ifs cannot be dissected.
+	for _, il := range innerLoopsOf(body) {
+		if isPullLoop(il, f.Iter) {
+			direct := false
+			for _, s := range body.Stmts {
+				if s == ast.Stmt(il) {
+					direct = true
+				}
+			}
+			if !direct {
+				nz.fail("%s: a message-pulling neighbor loop under a condition cannot be transformed; restructure the program", il.P)
+				return []ast.Stmt{f}
+			}
+		}
+	}
+	if !pullSeen || len(body.Stmts) == 1 {
+		return append(hoisted, f)
+	}
+
+	// Safety: splitting re-evaluates the outer filter per segment, so no
+	// segment may write a property the filter reads.
+	if f.Filter != nil {
+		filterProps := propsReadBy(f.Filter)
+		for _, s := range body.Stmts {
+			for p := range propsWrittenBy(s) {
+				if filterProps[p] {
+					nz.fail("%s: cannot split loop: its body modifies property %q used by the loop filter", f.P, p)
+					return []ast.Stmt{f}
+				}
+			}
+		}
+	}
+
+	var segs [][]ast.Stmt
+	var cur []ast.Stmt
+	flush := func() {
+		if len(cur) > 0 {
+			segs = append(segs, cur)
+			cur = nil
+		}
+	}
+	for _, s := range body.Stmts {
+		if il, ok := s.(*ast.Foreach); ok && il.Kind != ast.IterNodes && isPullLoop(il, f.Iter) {
+			flush()
+			segs = append(segs, []ast.Stmt{s})
+			continue
+		}
+		cur = append(cur, s)
+	}
+	flush()
+	nz.trace.Record(RuleDissectLoops)
+
+	out := hoisted
+	for _, seg := range segs {
+		out = append(out, &ast.Foreach{
+			Iter: f.Iter, Source: f.Source, Kind: f.Kind,
+			Filter: cloneOrNil(f.Filter),
+			Body:   &ast.Block{Stmts: seg},
+			P:      f.P,
+		})
+	}
+	return out
+}
+
+// rewriteAssignTargets rewrites `name op= rhs` into `iter.tmp op= rhs`
+// (assignment LHS idents are not expressions, so replaceIdentInStmt does
+// not reach them... it does, via RewriteExprs on LHS — kept for clarity).
+func rewriteAssignTargets(s ast.Stmt, name, iter, tmp string) {
+	ast.WalkStmts(s, func(st ast.Stmt) bool {
+		if a, ok := st.(*ast.Assign); ok {
+			if id, ok := a.LHS.(*ast.Ident); ok && id.Name == name {
+				a.LHS = propOf(ident(iter), tmp)
+			}
+		}
+		return true
+	})
+}
+
+func dropEmptyBlocks(ss []ast.Stmt) []ast.Stmt {
+	var out []ast.Stmt
+	for _, s := range ss {
+		if b, ok := s.(*ast.Block); ok && len(b.Stmts) == 0 {
+			continue
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// propsReadBy returns the property names read in e.
+func propsReadBy(e ast.Expr) map[string]bool {
+	out := map[string]bool{}
+	ast.WalkExpr(e, func(x ast.Expr) bool {
+		if pa, ok := x.(*ast.PropAccess); ok {
+			out[pa.Prop] = true
+		}
+		return true
+	})
+	return out
+}
+
+// propsWrittenBy returns the property names written (as assignment
+// targets) anywhere in s.
+func propsWrittenBy(s ast.Stmt) map[string]bool {
+	out := map[string]bool{}
+	ast.WalkStmts(s, func(st ast.Stmt) bool {
+		if a, ok := st.(*ast.Assign); ok {
+			if pa, ok := a.LHS.(*ast.PropAccess); ok {
+				out[pa.Prop] = true
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// ---- Flipping Edges ----
+
+// flipAll converts remaining pull-style nested loops (outer loop whose
+// sole statement is a message-pulling inner loop) into push style by
+// swapping the iterators and flipping the edge direction.
+func (nz *normalizer) flipAll() {
+	if !nz.recheck() {
+		return
+	}
+	ast.WalkStmts(nz.proc.Body, func(s ast.Stmt) bool {
+		if nz.err != nil {
+			return false
+		}
+		f, ok := s.(*ast.Foreach)
+		if !ok || f.Kind != ast.IterNodes {
+			return true
+		}
+		nz.maybeFlip(f)
+		return false
+	})
+}
+
+func (nz *normalizer) maybeFlip(f *ast.Foreach) {
+	body := asBlock(f.Body)
+	if len(body.Stmts) != 1 {
+		return
+	}
+	il, ok := body.Stmts[0].(*ast.Foreach)
+	if !ok || il.Kind == ast.IterNodes || !isPullLoop(il, f.Iter) {
+		return
+	}
+	if il.Source != f.Iter {
+		nz.fail("%s: inner loop source %q must be the outer iterator %q", il.P, il.Source, f.Iter)
+		return
+	}
+	// Edge variables bound to the inner iterator do not survive a flip.
+	edgeUse := false
+	ast.WalkStmts(il.Body, func(s ast.Stmt) bool {
+		if d, ok := s.(*ast.VarDecl); ok && d.Type.Kind == ast.TEdge {
+			edgeUse = true
+		}
+		return !edgeUse
+	})
+	if edgeUse {
+		nz.fail("%s: edge properties cannot be used in a message-pulling loop", il.P)
+		return
+	}
+
+	var flipped ast.IterKind
+	switch il.Kind {
+	case ast.IterInNbrs:
+		flipped = ast.IterOutNbrs
+	case ast.IterOutNbrs:
+		flipped = ast.IterInNbrs
+	default:
+		nz.fail("%s: cannot flip %s iteration", il.P, il.Kind)
+		return
+	}
+
+	// Split the inner filter: conjuncts that reference only the inner
+	// iterator move to the new outer loop (sender side); the rest join
+	// the outer filter on the new inner loop (receiver side).
+	var newOuterF, newInnerF []ast.Expr
+	for _, c := range conjuncts(il.Filter) {
+		usesOuter := ast.UsesIdent(c, f.Iter)
+		usesInner := ast.UsesIdent(c, il.Iter)
+		if usesInner && !usesOuter {
+			newOuterF = append(newOuterF, c)
+		} else {
+			newInnerF = append(newInnerF, c)
+		}
+	}
+	innerFilter := conj(cloneOrNil(f.Filter), conjoin(newInnerF))
+
+	newInner := &ast.Foreach{
+		Iter: f.Iter, Source: il.Iter, Kind: flipped,
+		Filter: innerFilter, Body: il.Body, P: il.P,
+	}
+	f.Iter = il.Iter
+	f.Filter = conjoin(newOuterF)
+	f.Body = blockOf(newInner)
+	nz.trace.Record(RuleFlipEdges)
+	if flipped == ast.IterInNbrs {
+		nz.trace.Record(RuleIncomingNbrs)
+	}
+}

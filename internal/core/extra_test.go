@@ -1,0 +1,123 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"gmpregel/internal/algorithms"
+	"gmpregel/internal/graph"
+	"gmpregel/internal/graph/gen"
+	"gmpregel/internal/machine"
+	"gmpregel/internal/pregel"
+	"gmpregel/internal/seq"
+)
+
+// The extension algorithms exercise pattern combinations beyond the
+// paper's six programs.
+
+func TestWCCEndToEnd(t *testing.T) {
+	c := compileOK(t, algorithms.WCC, Options{})
+	// Several disconnected blobs.
+	b := graph.NewBuilder(50)
+	addPath := func(vs ...graph.NodeID) {
+		for i := 0; i+1 < len(vs); i++ {
+			b.AddEdge(vs[i], vs[i+1])
+		}
+	}
+	addPath(5, 3, 9, 1)
+	addPath(10, 12, 14, 10)
+	addPath(20, 21)
+	addPath(30, 31, 32, 33, 34, 35)
+	// Direction-reversed edge linking two chains: weak connectivity.
+	b.AddEdge(35, 21)
+	g := b.Build()
+	res, err := machine.Run(c.Program, g, machine.Bindings{}, pregel.Config{NumWorkers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := res.NodePropInt("comp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := seq.WCC(g)
+	for v := range want {
+		if got[v] != want[v] {
+			t.Fatalf("comp[%d] = %d, want %d", v, got[v], want[v])
+		}
+	}
+	// WCC pushes along both edge directions in one loop: multiple
+	// message types plus the incoming-neighbor prologue.
+	if !c.Trace.Applied(RuleMultipleComm) || !c.Trace.Applied(RuleIncomingNbrs) {
+		t.Error("WCC should use Multiple Comm. and Incoming Neighbors")
+	}
+}
+
+func TestWCCOnRandomGraphs(t *testing.T) {
+	for seed := int64(0); seed < 4; seed++ {
+		g := gen.Random(120, 150, seed) // sparse → many components
+		c := compileOK(t, algorithms.WCC, Options{})
+		res, err := machine.Run(c.Program, g, machine.Bindings{}, pregel.Config{NumWorkers: 4, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, _ := res.NodePropInt("comp")
+		want := seq.WCC(g)
+		for v := range want {
+			if got[v] != want[v] {
+				t.Fatalf("seed %d: comp[%d] = %d, want %d", seed, v, got[v], want[v])
+			}
+		}
+	}
+}
+
+func TestHITSEndToEnd(t *testing.T) {
+	c := compileOK(t, algorithms.HITS, Options{})
+	g := gen.TwitterLike(200, 6, 5)
+	res, err := machine.Run(c.Program, g, machine.Bindings{
+		Int: map[string]int64{"max_iter": 15},
+	}, pregel.Config{NumWorkers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantAuth, wantHub := seq.HITS(g, 15)
+	gotAuth, _ := res.NodePropFloat("auth")
+	gotHub, _ := res.NodePropFloat("hub")
+	for v := range wantAuth {
+		if math.Abs(gotAuth[v]-wantAuth[v]) > 1e-9 {
+			t.Fatalf("auth[%d] = %v, want %v", v, gotAuth[v], wantAuth[v])
+		}
+		if math.Abs(gotHub[v]-wantHub[v]) > 1e-9 {
+			t.Fatalf("hub[%d] = %v, want %v", v, gotHub[v], wantHub[v])
+		}
+	}
+}
+
+func TestDegreeStatsEndToEnd(t *testing.T) {
+	c := compileOK(t, algorithms.DegreeStats, Options{})
+	g := gen.TwitterLike(300, 5, 9)
+	res, err := machine.Run(c.Program, g, machine.Bindings{}, pregel.Config{NumWorkers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantDeg, wantMax := seq.InDegrees(g)
+	got, _ := res.NodePropInt("indeg")
+	for v := range wantDeg {
+		if got[v] != wantDeg[v] {
+			t.Fatalf("indeg[%d] = %d, want %d", v, got[v], wantDeg[v])
+		}
+	}
+	if !res.HasRet || res.Ret.AsInt() != wantMax {
+		t.Errorf("max = %v, want %d", res.Ret, wantMax)
+	}
+}
+
+func TestExtraAlgorithmsCompile(t *testing.T) {
+	for name, src := range algorithms.ExtraByName {
+		t.Run(name, func(t *testing.T) {
+			c := compileOK(t, src, Options{})
+			if err := c.Program.Validate(); err != nil {
+				t.Error(err)
+			}
+		})
+	}
+}

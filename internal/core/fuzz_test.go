@@ -1,0 +1,73 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"gmpregel/internal/algorithms"
+)
+
+// FuzzCompile feeds arbitrary text through the full pipeline: it must
+// either compile or return an error — never panic, and never emit an
+// invalid program. Run with `go test -fuzz FuzzCompile ./internal/core`
+// for continuous fuzzing; in normal test runs the seed corpus executes.
+func FuzzCompile(f *testing.F) {
+	for _, src := range algorithms.ByName {
+		f.Add(src)
+	}
+	for _, src := range algorithms.ExtraByName {
+		f.Add(src)
+	}
+	f.Add("Procedure f(G: Graph) { }")
+	f.Add("Procedure f(G: Graph, x: Node_Prop<Int>) { Foreach (n: G.Nodes) { n.x = n.Id(); } }")
+	f.Add("not green-marl at all {{{")
+	f.Fuzz(func(t *testing.T, src string) {
+		if len(src) > 1<<14 {
+			return // keep single iterations fast
+		}
+		c, err := Compile(src, Options{})
+		if err != nil {
+			if strings.Contains(err.Error(), "internal:") {
+				t.Errorf("user input produced an internal error: %v", err)
+			}
+			return
+		}
+		if vErr := c.Program.Validate(); vErr != nil {
+			t.Errorf("compiled program fails validation: %v", vErr)
+		}
+	})
+}
+
+// TestCompileRobustness is the in-process equivalent of FuzzCompile:
+// random mutations of valid programs must never panic the pipeline or
+// produce internal errors.
+func TestCompileRobustness(t *testing.T) {
+	srcs := make([]string, 0, len(algorithms.ByName))
+	for _, s := range algorithms.ByName {
+		srcs = append(srcs, s)
+	}
+	alphabet := "ProcedureForeachWhileIfG.Nodes(){}[];:=+-*/%&|!?,<>1234567890abc \n"
+	rng := newDetRand(1234)
+	for trial := 0; trial < 400; trial++ {
+		base := srcs[trial%len(srcs)]
+		pos := rng.Intn(len(base))
+		mut := base[:pos] + string(alphabet[rng.Intn(len(alphabet))]) + base[pos+1:]
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("panic on mutated input: %v\n%s", r, mut)
+				}
+			}()
+			c, err := Compile(mut, Options{})
+			if err != nil {
+				if strings.Contains(err.Error(), "internal:") {
+					t.Errorf("internal error on user input: %v", err)
+				}
+				return
+			}
+			if vErr := c.Program.Validate(); vErr != nil {
+				t.Errorf("invalid program compiled: %v", vErr)
+			}
+		}()
+	}
+}

@@ -1,0 +1,224 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"gmpregel/internal/algorithms"
+	"gmpregel/internal/graph"
+	"gmpregel/internal/graph/gen"
+	"gmpregel/internal/machine"
+	"gmpregel/internal/pregel"
+)
+
+// optModes are the three optimization configurations compared by the
+// equivalence tests.
+var optModes = []struct {
+	name string
+	opts Options
+}{
+	{"noopt", Options{DisableStateMerging: true, DisableIntraLoopMerge: true}},
+	{"merge", Options{DisableIntraLoopMerge: true}},
+	{"full", Options{}},
+}
+
+type runResult struct {
+	steps    int
+	msgs     int64
+	netBytes int64
+	intProps map[string][]int64
+	fltProps map[string][]float64
+	ret      float64
+	hasRet   bool
+}
+
+func runWithOpts(t *testing.T, src string, opts Options, g *graph.Directed, b machine.Bindings) runResult {
+	t.Helper()
+	c, err := Compile(src, opts)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	res, err := machine.Run(c.Program, g, b, pregel.Config{NumWorkers: 4, Seed: 12345})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	out := runResult{
+		steps:    res.Stats.Supersteps,
+		msgs:     res.Stats.MessagesSent,
+		netBytes: res.Stats.NetworkBytes,
+		intProps: map[string][]int64{},
+		fltProps: map[string][]float64{},
+		hasRet:   res.HasRet,
+	}
+	if res.HasRet {
+		out.ret = res.Ret.AsFloat()
+	}
+	for _, p := range c.Program.Props {
+		if p.IsEdge || len(p.Name) > 0 && p.Name[0] == '_' {
+			continue // compiler temps may legitimately differ
+		}
+		if vals, err := res.NodePropInt(p.Name); err == nil {
+			out.intProps[p.Name] = vals
+			continue
+		}
+		if vals, err := res.NodePropFloat(p.Name); err == nil {
+			out.fltProps[p.Name] = vals
+		}
+	}
+	return out
+}
+
+// TestOptimizationsPreserveSemantics runs every algorithm under all
+// three optimization modes and requires identical observable results,
+// identical message traffic, and monotonically non-increasing superstep
+// counts (the optimizations only remove barriers).
+func TestOptimizationsPreserveSemantics(t *testing.T) {
+	type testCase struct {
+		algo string
+		g    *graph.Directed
+		b    machine.Bindings
+	}
+	mkAge := func(n int) []int64 {
+		a := make([]int64, n)
+		for v := range a {
+			a[v] = int64((v*17 + 3) % 70)
+		}
+		return a
+	}
+	mkMember := func(n int) []int64 {
+		m := make([]int64, n)
+		for v := range m {
+			m[v] = int64(v % 3)
+		}
+		return m
+	}
+	gTw := gen.TwitterLike(300, 6, 2)
+	gWb := gen.WebLike(8, 6, 3)
+	lengths := make([]int64, gWb.NumEdges())
+	for e := range lengths {
+		lengths[e] = int64(1 + e%7)
+	}
+	gBip := gen.Bipartite(120, 140, 4, 4)
+	isBoy := make([]bool, 260)
+	for v := 0; v < 120; v++ {
+		isBoy[v] = true
+	}
+	cases := []testCase{
+		{"avgteen", gTw, machine.Bindings{Int: map[string]int64{"K": 30}, NodePropInt: map[string][]int64{"age": mkAge(300)}}},
+		{"pagerank", gTw, machine.Bindings{Float: map[string]float64{"e": 1e-8, "d": 0.85}, Int: map[string]int64{"max_iter": 12}}},
+		{"conductance", gTw, machine.Bindings{Int: map[string]int64{"num": 1}, NodePropInt: map[string][]int64{"member": mkMember(300)}}},
+		{"sssp", gWb, machine.Bindings{Node: map[string]graph.NodeID{"root": 0}, EdgePropInt: map[string][]int64{"len": lengths}}},
+		{"bipartite", gBip, machine.Bindings{NodePropBool: map[string][]bool{"is_boy": isBoy}}},
+		{"bc", gWb, machine.Bindings{Int: map[string]int64{"K": 2}}},
+	}
+	extra := []testCase{
+		{"wcc", gWb, machine.Bindings{}},
+		{"hits", gTw, machine.Bindings{Int: map[string]int64{"max_iter": 8}}},
+		{"degree_stats", gTw, machine.Bindings{}},
+	}
+	srcOf := func(name string) string {
+		if s, ok := algorithms.ByName[name]; ok {
+			return s
+		}
+		return algorithms.ExtraByName[name]
+	}
+	for _, tc := range append(cases, extra...) {
+		t.Run(tc.algo, func(t *testing.T) {
+			var results []runResult
+			for _, mode := range optModes {
+				results = append(results, runWithOpts(t, srcOf(tc.algo), mode.opts, tc.g, tc.b))
+			}
+			base := results[0]
+			for i, r := range results[1:] {
+				mode := optModes[i+1].name
+				if r.hasRet != base.hasRet || (base.hasRet && !floatEq(r.ret, base.ret)) {
+					t.Errorf("%s: return value %v differs from noopt %v", mode, r.ret, base.ret)
+				}
+				for name, want := range base.intProps {
+					got := r.intProps[name]
+					for v := range want {
+						if got[v] != want[v] {
+							t.Fatalf("%s: %s[%d] = %d, want %d", mode, name, v, got[v], want[v])
+						}
+					}
+				}
+				for name, want := range base.fltProps {
+					got := r.fltProps[name]
+					for v := range want {
+						if !floatEq(got[v], want[v]) {
+							t.Fatalf("%s: %s[%d] = %v, want %v", mode, name, v, got[v], want[v])
+						}
+					}
+				}
+				if mode == "merge" {
+					// State merging never changes traffic.
+					if r.msgs != base.msgs || r.netBytes != base.netBytes {
+						t.Errorf("%s: traffic changed: msgs %d→%d bytes %d→%d",
+							mode, base.msgs, r.msgs, base.netBytes, r.netBytes)
+					}
+				} else if r.msgs < base.msgs {
+					// Intra-loop merging adds dangling messages (one
+					// speculative send round per merged loop, §4.2); it
+					// can only add traffic, never drop any.
+					t.Errorf("%s: messages dropped: %d → %d", mode, base.msgs, r.msgs)
+				}
+				if r.steps > base.steps {
+					t.Errorf("%s: supersteps increased: %d → %d", mode, base.steps, r.steps)
+				}
+			}
+			// The optimizations must actually help somewhere: full ≤ merge ≤ noopt,
+			// and strictly fewer steps for multi-state programs.
+			if results[2].steps > results[1].steps {
+				t.Errorf("intra-loop merge increased steps: %d → %d", results[1].steps, results[2].steps)
+			}
+		})
+	}
+}
+
+func floatEq(a, b float64) bool {
+	if math.IsInf(a, 1) && math.IsInf(b, 1) {
+		return true
+	}
+	return math.Abs(a-b) <= 1e-9*(1+math.Abs(b))
+}
+
+// TestStateMergingReducesSupersteps pins the paper's AvgTeen example:
+// the receive state and the following global-sum state merge, so the
+// whole program takes 2 supersteps instead of 3.
+func TestStateMergingReducesSupersteps(t *testing.T) {
+	g := gen.Random(50, 200, 1)
+	age := make([]int64, 50)
+	for v := range age {
+		age[v] = int64(v)
+	}
+	b := machine.Bindings{Int: map[string]int64{"K": 20}, NodePropInt: map[string][]int64{"age": age}}
+	noopt := runWithOpts(t, algorithms.AvgTeen, Options{DisableStateMerging: true, DisableIntraLoopMerge: true}, g, b)
+	full := runWithOpts(t, algorithms.AvgTeen, Options{}, g, b)
+	// Unoptimized: temp-init loop, teen-send, receive, count-finalize,
+	// and the S/C loop — five vertex states.
+	if noopt.steps != 5 {
+		t.Errorf("unoptimized AvgTeen = %d supersteps, want 5", noopt.steps)
+	}
+	if full.steps != 2 {
+		t.Errorf("optimized AvgTeen = %d supersteps, want 2", full.steps)
+	}
+}
+
+// TestIntraLoopMergeHalvesIterationCost pins PageRank's loop: two
+// supersteps per iteration unmerged, one merged.
+func TestIntraLoopMergeHalvesIterationCost(t *testing.T) {
+	g := gen.TwitterLike(100, 5, 6)
+	b := machine.Bindings{
+		Float: map[string]float64{"e": 0, "d": 0.85}, // run all iterations
+		Int:   map[string]int64{"max_iter": 10},
+	}
+	merged := runWithOpts(t, algorithms.PageRank, Options{}, g, b)
+	unmerged := runWithOpts(t, algorithms.PageRank, Options{DisableIntraLoopMerge: true}, g, b)
+	// Unmerged: init + 2 per iteration; merged: init + (iterations + 1).
+	if unmerged.steps != 1+2*10 {
+		t.Errorf("unmerged = %d supersteps, want 21", unmerged.steps)
+	}
+	if merged.steps != 1+10+1 {
+		t.Errorf("merged = %d supersteps, want 12", merged.steps)
+	}
+}

@@ -1,0 +1,202 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"gmpregel/internal/algorithms"
+	"gmpregel/internal/graph"
+	"gmpregel/internal/machine"
+	"gmpregel/internal/pregel"
+	"gmpregel/internal/seq"
+)
+
+// Property-based compile-run-vs-oracle tests: random small graphs and
+// inputs, the compiled program must always match the sequential oracle.
+
+func randomGraph(rng *rand.Rand) *graph.Directed {
+	n := 2 + rng.Intn(40)
+	m := rng.Intn(4 * n)
+	b := graph.NewBuilder(n)
+	for i := 0; i < m; i++ {
+		u := rng.Intn(n)
+		v := rng.Intn(n)
+		if u != v {
+			b.AddEdge(graph.NodeID(u), graph.NodeID(v))
+		}
+	}
+	return b.Build()
+}
+
+func TestQuickAvgTeenMatchesOracle(t *testing.T) {
+	c := compileOK(t, algorithms.AvgTeen, Options{})
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 40; trial++ {
+		g := randomGraph(rng)
+		n := g.NumNodes()
+		age := make([]int64, n)
+		for v := range age {
+			age[v] = int64(rng.Intn(80))
+		}
+		k := int64(rng.Intn(60))
+		res, err := machine.Run(c.Program, g, machine.Bindings{
+			Int:         map[string]int64{"K": k},
+			NodePropInt: map[string][]int64{"age": age},
+		}, pregel.Config{NumWorkers: 1 + rng.Intn(4)})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		wantCnt, wantAvg := seq.AvgTeen(g, age, k)
+		gotCnt, _ := res.NodePropInt("teen_cnt")
+		for v := range wantCnt {
+			if gotCnt[v] != wantCnt[v] {
+				t.Fatalf("trial %d: teen_cnt[%d] = %d, want %d", trial, v, gotCnt[v], wantCnt[v])
+			}
+		}
+		if math.Abs(res.Ret.AsFloat()-wantAvg) > 1e-9 {
+			t.Fatalf("trial %d: avg = %v, want %v", trial, res.Ret.AsFloat(), wantAvg)
+		}
+	}
+}
+
+func TestQuickSSSPMatchesOracle(t *testing.T) {
+	c := compileOK(t, algorithms.SSSP, Options{})
+	rng := rand.New(rand.NewSource(32))
+	for trial := 0; trial < 40; trial++ {
+		g := randomGraph(rng)
+		lengths := make([]int64, g.NumEdges())
+		for e := range lengths {
+			lengths[e] = int64(1 + rng.Intn(20))
+		}
+		root := graph.NodeID(rng.Intn(g.NumNodes()))
+		res, err := machine.Run(c.Program, g, machine.Bindings{
+			Node:        map[string]graph.NodeID{"root": root},
+			EdgePropInt: map[string][]int64{"len": lengths},
+		}, pregel.Config{NumWorkers: 1 + rng.Intn(4)})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		want := seq.SSSP(g, root, lengths)
+		got, _ := res.NodePropInt("dist")
+		for v := range want {
+			if got[v] != want[v] {
+				t.Fatalf("trial %d (root %d): dist[%d] = %d, want %d", trial, root, v, got[v], want[v])
+			}
+		}
+	}
+}
+
+func TestQuickWCCMatchesOracle(t *testing.T) {
+	c := compileOK(t, algorithms.WCC, Options{})
+	rng := rand.New(rand.NewSource(33))
+	for trial := 0; trial < 40; trial++ {
+		g := randomGraph(rng)
+		res, err := machine.Run(c.Program, g, machine.Bindings{},
+			pregel.Config{NumWorkers: 1 + rng.Intn(4)})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		want := seq.WCC(g)
+		got, _ := res.NodePropInt("comp")
+		for v := range want {
+			if got[v] != want[v] {
+				t.Fatalf("trial %d: comp[%d] = %d, want %d", trial, v, got[v], want[v])
+			}
+		}
+	}
+}
+
+func TestQuickConductanceMatchesOracle(t *testing.T) {
+	c := compileOK(t, algorithms.Conductance, Options{})
+	rng := rand.New(rand.NewSource(34))
+	for trial := 0; trial < 40; trial++ {
+		g := randomGraph(rng)
+		n := g.NumNodes()
+		member := make([]int64, n)
+		for v := range member {
+			member[v] = int64(rng.Intn(3))
+		}
+		num := int64(rng.Intn(3))
+		res, err := machine.Run(c.Program, g, machine.Bindings{
+			Int:         map[string]int64{"num": num},
+			NodePropInt: map[string][]int64{"member": member},
+		}, pregel.Config{NumWorkers: 1 + rng.Intn(4)})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		want := seq.Conductance(g, member, num)
+		got := res.Ret.AsFloat()
+		if math.IsInf(want, 1) {
+			if !math.IsInf(got, 1) {
+				t.Fatalf("trial %d: conductance = %v, want +Inf", trial, got)
+			}
+			continue
+		}
+		if math.Abs(got-want) > 1e-12 {
+			t.Fatalf("trial %d: conductance = %v, want %v", trial, got, want)
+		}
+	}
+}
+
+func TestQuickBipartiteAlwaysValid(t *testing.T) {
+	c := compileOK(t, algorithms.Bipartite, Options{})
+	rng := rand.New(rand.NewSource(35))
+	for trial := 0; trial < 30; trial++ {
+		boys := 1 + rng.Intn(20)
+		girls := 1 + rng.Intn(20)
+		b := graph.NewBuilder(boys + girls)
+		for u := 0; u < boys; u++ {
+			deg := rng.Intn(4)
+			for k := 0; k < deg; k++ {
+				b.AddEdge(graph.NodeID(u), graph.NodeID(boys+rng.Intn(girls)))
+			}
+		}
+		g := b.Build()
+		isBoy := make([]bool, boys+girls)
+		for v := 0; v < boys; v++ {
+			isBoy[v] = true
+		}
+		res, err := machine.Run(c.Program, g, machine.Bindings{
+			NodePropBool: map[string][]bool{"is_boy": isBoy},
+		}, pregel.Config{NumWorkers: 1 + rng.Intn(4), Seed: int64(trial)})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		raw, _ := res.NodePropInt("match")
+		match := make([]graph.NodeID, len(raw))
+		for v, m := range raw {
+			match[v] = graph.NodeID(m)
+		}
+		if msg := seq.ValidateMatching(g, isBoy, match); msg != "" {
+			t.Fatalf("trial %d: %s", trial, msg)
+		}
+	}
+}
+
+func TestQuickBCMatchesOracle(t *testing.T) {
+	c := compileOK(t, algorithms.BC, Options{})
+	rng := rand.New(rand.NewSource(36))
+	for trial := 0; trial < 20; trial++ {
+		g := randomGraph(rng)
+		seed := int64(trial * 7)
+		res, err := machine.Run(c.Program, g, machine.Bindings{Int: map[string]int64{"K": 2}},
+			pregel.Config{NumWorkers: 1 + rng.Intn(4), Seed: seed})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		// Replay the master RNG to learn the chosen sources.
+		mr := rand.New(rand.NewSource(seed))
+		sources := []graph.NodeID{
+			graph.NodeID(mr.Intn(g.NumNodes())),
+			graph.NodeID(mr.Intn(g.NumNodes())),
+		}
+		want := seq.BCApprox(g, sources)
+		got, _ := res.NodePropFloat("BC")
+		for v := range want {
+			if math.Abs(got[v]-want[v]) > 1e-9*(1+math.Abs(want[v])) {
+				t.Fatalf("trial %d (sources %v): BC[%d] = %v, want %v", trial, sources, v, got[v], want[v])
+			}
+		}
+	}
+}

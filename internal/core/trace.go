@@ -1,0 +1,117 @@
+// Package core implements the paper's primary contribution: the compiler
+// that turns imperative Green-Marl programs into Pregel (GPS) programs.
+//
+// The pipeline mirrors the paper's Figure 1:
+//
+//	AST → normalize (bulk assigns, group reductions, random access in
+//	sequential phase, BFS lowering) → canonicalize (dissect nested loops,
+//	flip edges) → Pregel-canonical check → translate (state machine,
+//	global objects, neighborhood/multiple/random-write communication,
+//	edge properties, incoming-neighbor prologue, message classes) →
+//	optimize (state merging, intra-loop state merging) → machine.Program.
+//
+// Every rule application is recorded in a Trace, which regenerates the
+// paper's Table 3.
+package core
+
+import (
+	"sort"
+	"strings"
+)
+
+// Rule identifies one translation/transformation rule of the paper
+// (§3.1, §4.1, §4.2, §4.3).
+type Rule int
+
+// The paper's rules, in Table 3 order.
+const (
+	RuleStateMachine Rule = iota
+	RuleGlobalObject
+	RuleNeighborhoodComm
+	RuleMultipleComm
+	RuleRandomWrite
+	RuleEdgeProperty
+	RuleFlipEdges
+	RuleDissectLoops
+	RuleRandomAccessSeq
+	RuleBFSTraversal
+	RuleStateMerging
+	RuleIntraLoopMerge
+	RuleIncomingNbrs
+	RuleMessageClassGen
+
+	numRules
+)
+
+var ruleNames = [...]string{
+	"State Machine Const.",
+	"Global Object",
+	"Neighborhood Comm.",
+	"Multiple Comm.",
+	"Random Writing",
+	"Edge Property",
+	"Flipping Edge",
+	"Dissecting Loops",
+	"Random Access (Seq.)",
+	"BFS Traversal",
+	"State Merging",
+	"Intra-Loop Merge",
+	"Incoming Neighbors",
+	"Message Class Gen.",
+}
+
+// String returns the paper's name for the rule.
+func (r Rule) String() string { return ruleNames[r] }
+
+// Rules lists all rules in Table 3 order.
+func Rules() []Rule {
+	rs := make([]Rule, numRules)
+	for i := range rs {
+		rs[i] = Rule(i)
+	}
+	return rs
+}
+
+// Trace records which rules fired during a compilation, with counts.
+type Trace struct {
+	counts [numRules]int
+	notes  []string
+}
+
+// Record notes one application of r.
+func (t *Trace) Record(r Rule) { t.counts[r]++ }
+
+// RecordN notes n applications of r.
+func (t *Trace) RecordN(r Rule, n int) { t.counts[r] += n }
+
+// Note appends a free-form diagnostic line to the trace.
+func (t *Trace) Note(format string) { t.notes = append(t.notes, format) }
+
+// Applied reports whether r fired at least once.
+func (t *Trace) Applied(r Rule) bool { return t.counts[r] > 0 }
+
+// Count returns how many times r fired.
+func (t *Trace) Count(r Rule) int { return t.counts[r] }
+
+// Notes returns the diagnostic notes recorded during compilation.
+func (t *Trace) Notes() []string { return t.notes }
+
+// String renders the trace as a checklist.
+func (t *Trace) String() string {
+	var b strings.Builder
+	for _, r := range Rules() {
+		mark := " "
+		if t.Applied(r) {
+			mark = "x"
+		}
+		b.WriteString("[" + mark + "] " + r.String() + "\n")
+	}
+	return b.String()
+}
+
+// sortedNotes returns notes sorted for deterministic output.
+func (t *Trace) sortedNotes() []string {
+	out := append([]string(nil), t.notes...)
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,570 @@
+// Package ast defines the abstract syntax tree of the Green-Marl subset,
+// along with cloning and visiting helpers used by the compiler's
+// source-to-source transformation passes.
+package ast
+
+import "gmpregel/internal/gm/token"
+
+// TypeKind enumerates Green-Marl types.
+type TypeKind int
+
+// Type kinds.
+const (
+	TInvalid TypeKind = iota
+	TGraph
+	TInt
+	TLong
+	TFloat
+	TDouble
+	TBool
+	TNode
+	TEdge
+	TNodeProp
+	TEdgeProp
+)
+
+var typeNames = [...]string{
+	TInvalid: "<invalid>", TGraph: "Graph", TInt: "Int", TLong: "Long",
+	TFloat: "Float", TDouble: "Double", TBool: "Bool", TNode: "Node",
+	TEdge: "Edge", TNodeProp: "Node_Prop", TEdgeProp: "Edge_Prop",
+}
+
+func (k TypeKind) String() string { return typeNames[k] }
+
+// IsNumeric reports whether the kind is numeric.
+func (k TypeKind) IsNumeric() bool {
+	switch k {
+	case TInt, TLong, TFloat, TDouble:
+		return true
+	}
+	return false
+}
+
+// IsIntegral reports whether the kind is an integer kind.
+func (k TypeKind) IsIntegral() bool { return k == TInt || k == TLong }
+
+// IsFloating reports whether the kind is a floating kind.
+func (k TypeKind) IsFloating() bool { return k == TFloat || k == TDouble }
+
+// IsProp reports whether the kind is a property kind.
+func (k TypeKind) IsProp() bool { return k == TNodeProp || k == TEdgeProp }
+
+// Type is a (possibly parameterized) Green-Marl type.
+type Type struct {
+	Kind TypeKind
+	Elem *Type  // element type for Node_Prop / Edge_Prop
+	Of   string // optional bound graph name: Node_Prop<Int>(G)
+}
+
+// Clone deep-copies the type.
+func (t *Type) Clone() *Type {
+	if t == nil {
+		return nil
+	}
+	c := *t
+	c.Elem = t.Elem.Clone()
+	return &c
+}
+
+// String renders the type in source syntax.
+func (t *Type) String() string {
+	if t == nil {
+		return "<nil>"
+	}
+	s := t.Kind.String()
+	if t.Elem != nil {
+		s += "<" + t.Elem.String() + ">"
+	}
+	if t.Of != "" {
+		s += "(" + t.Of + ")"
+	}
+	return s
+}
+
+// Node is implemented by all AST nodes.
+type Node interface {
+	Pos() token.Pos
+}
+
+// Stmt is implemented by statements.
+type Stmt interface {
+	Node
+	stmt()
+	CloneStmt() Stmt
+}
+
+// Expr is implemented by expressions.
+type Expr interface {
+	Node
+	expr()
+	CloneExpr() Expr
+}
+
+// Procedure is a top-level Green-Marl procedure.
+type Procedure struct {
+	Name   string
+	Params []*Param
+	Ret    *Type // nil if none
+	Body   *Block
+	P      token.Pos
+}
+
+// Pos returns the declaration position.
+func (p *Procedure) Pos() token.Pos { return p.P }
+
+// Clone deep-copies the procedure.
+func (p *Procedure) Clone() *Procedure {
+	c := &Procedure{Name: p.Name, Ret: p.Ret.Clone(), P: p.P}
+	for _, prm := range p.Params {
+		c.Params = append(c.Params, &Param{Name: prm.Name, Type: prm.Type.Clone(), P: prm.P})
+	}
+	c.Body = p.Body.CloneStmt().(*Block)
+	return c
+}
+
+// Param is a procedure parameter.
+type Param struct {
+	Name string
+	Type *Type
+	P    token.Pos
+}
+
+// ---- Statements ----
+
+// Block is a `{ ... }` statement list.
+type Block struct {
+	Stmts []Stmt
+	P     token.Pos
+}
+
+func (b *Block) Pos() token.Pos { return b.P }
+func (*Block) stmt()            {}
+
+// CloneStmt deep-copies the block.
+func (b *Block) CloneStmt() Stmt {
+	c := &Block{P: b.P}
+	for _, s := range b.Stmts {
+		c.Stmts = append(c.Stmts, s.CloneStmt())
+	}
+	return c
+}
+
+// VarDecl declares one or more variables of a type, with an optional
+// initializer for single-name declarations.
+type VarDecl struct {
+	Type  *Type
+	Names []string
+	Init  Expr // nil if none; only when len(Names)==1
+	P     token.Pos
+}
+
+func (d *VarDecl) Pos() token.Pos { return d.P }
+func (*VarDecl) stmt()            {}
+
+// CloneStmt deep-copies the declaration.
+func (d *VarDecl) CloneStmt() Stmt {
+	c := &VarDecl{Type: d.Type.Clone(), Names: append([]string(nil), d.Names...), P: d.P}
+	if d.Init != nil {
+		c.Init = d.Init.CloneExpr()
+	}
+	return c
+}
+
+// AssignOp is an assignment operator, possibly a reduction.
+type AssignOp int
+
+// Assignment operators.
+const (
+	OpSet AssignOp = iota // =
+	OpAdd                 // +=
+	OpSub                 // -=
+	OpMul                 // *=
+	OpMin                 // min=
+	OpMax                 // max=
+	OpAnd                 // &=
+	OpOr                  // |=
+)
+
+var assignOpNames = [...]string{"=", "+=", "-=", "*=", "min=", "max=", "&=", "|="}
+
+func (o AssignOp) String() string { return assignOpNames[o] }
+
+// IsReduction reports whether the operator is a reduction (not plain =).
+func (o AssignOp) IsReduction() bool { return o != OpSet }
+
+// Assign is `lhs op rhs;`. LHS is an Ident (scalar) or PropAccess
+// (vertex/edge property, including bulk `G.prop`).
+type Assign struct {
+	LHS Expr
+	Op  AssignOp
+	RHS Expr
+	P   token.Pos
+}
+
+func (a *Assign) Pos() token.Pos { return a.P }
+func (*Assign) stmt()            {}
+
+// CloneStmt deep-copies the assignment.
+func (a *Assign) CloneStmt() Stmt {
+	return &Assign{LHS: a.LHS.CloneExpr(), Op: a.Op, RHS: a.RHS.CloneExpr(), P: a.P}
+}
+
+// If is a conditional statement.
+type If struct {
+	Cond Expr
+	Then Stmt
+	Else Stmt // nil if absent
+	P    token.Pos
+}
+
+func (i *If) Pos() token.Pos { return i.P }
+func (*If) stmt()            {}
+
+// CloneStmt deep-copies the conditional.
+func (i *If) CloneStmt() Stmt {
+	c := &If{Cond: i.Cond.CloneExpr(), Then: i.Then.CloneStmt(), P: i.P}
+	if i.Else != nil {
+		c.Else = i.Else.CloneStmt()
+	}
+	return c
+}
+
+// While is a `While (cond) body` or `Do body While (cond);` loop.
+type While struct {
+	Cond    Expr
+	Body    Stmt
+	DoWhile bool
+	P       token.Pos
+}
+
+func (w *While) Pos() token.Pos { return w.P }
+func (*While) stmt()            {}
+
+// CloneStmt deep-copies the loop.
+func (w *While) CloneStmt() Stmt {
+	return &While{Cond: w.Cond.CloneExpr(), Body: w.Body.CloneStmt(), DoWhile: w.DoWhile, P: w.P}
+}
+
+// IterKind enumerates iteration domains.
+type IterKind int
+
+// Iteration domains. UpNbrs/DownNbrs are only meaningful inside
+// InBFS/InReverse bodies (BFS parents and children).
+const (
+	IterNodes IterKind = iota
+	IterOutNbrs
+	IterInNbrs
+	IterUpNbrs
+	IterDownNbrs
+)
+
+var iterNames = [...]string{"Nodes", "Nbrs", "InNbrs", "UpNbrs", "DownNbrs"}
+
+func (k IterKind) String() string { return iterNames[k] }
+
+// Foreach is a parallel iteration. Source names the graph (for
+// IterNodes) or a node-valued variable (for neighbor domains).
+type Foreach struct {
+	Iter   string
+	Source string
+	Kind   IterKind
+	Filter Expr // nil if absent
+	Body   Stmt
+	Seq    bool // declared with For instead of Foreach
+	P      token.Pos
+}
+
+func (f *Foreach) Pos() token.Pos { return f.P }
+func (*Foreach) stmt()            {}
+
+// CloneStmt deep-copies the loop.
+func (f *Foreach) CloneStmt() Stmt {
+	c := &Foreach{Iter: f.Iter, Source: f.Source, Kind: f.Kind, Body: f.Body.CloneStmt(), Seq: f.Seq, P: f.P}
+	if f.Filter != nil {
+		c.Filter = f.Filter.CloneExpr()
+	}
+	return c
+}
+
+// InBFS is a BFS-order traversal with an optional reverse-order sweep.
+type InBFS struct {
+	Iter        string
+	Source      string // graph name
+	Root        Expr
+	Filter      Expr // nil if absent
+	Body        *Block
+	ReverseBody *Block // nil if absent
+	P           token.Pos
+}
+
+func (b *InBFS) Pos() token.Pos { return b.P }
+func (*InBFS) stmt()            {}
+
+// CloneStmt deep-copies the traversal.
+func (b *InBFS) CloneStmt() Stmt {
+	c := &InBFS{Iter: b.Iter, Source: b.Source, Root: b.Root.CloneExpr(), P: b.P}
+	if b.Filter != nil {
+		c.Filter = b.Filter.CloneExpr()
+	}
+	c.Body = b.Body.CloneStmt().(*Block)
+	if b.ReverseBody != nil {
+		c.ReverseBody = b.ReverseBody.CloneStmt().(*Block)
+	}
+	return c
+}
+
+// Return is `Return expr;`.
+type Return struct {
+	Value Expr // nil for bare return
+	P     token.Pos
+}
+
+func (r *Return) Pos() token.Pos { return r.P }
+func (*Return) stmt()            {}
+
+// CloneStmt deep-copies the return.
+func (r *Return) CloneStmt() Stmt {
+	c := &Return{P: r.P}
+	if r.Value != nil {
+		c.Value = r.Value.CloneExpr()
+	}
+	return c
+}
+
+// ---- Expressions ----
+
+// Ident references a variable, parameter, or iterator by name.
+type Ident struct {
+	Name string
+	P    token.Pos
+}
+
+func (i *Ident) Pos() token.Pos { return i.P }
+func (*Ident) expr()            {}
+
+// CloneExpr copies the identifier.
+func (i *Ident) CloneExpr() Expr { cp := *i; return &cp }
+
+// IntLit is an integer literal.
+type IntLit struct {
+	Value int64
+	P     token.Pos
+}
+
+func (l *IntLit) Pos() token.Pos { return l.P }
+func (*IntLit) expr()            {}
+
+// CloneExpr copies the literal.
+func (l *IntLit) CloneExpr() Expr { cp := *l; return &cp }
+
+// FloatLit is a floating literal.
+type FloatLit struct {
+	Value float64
+	Text  string // original spelling, for faithful printing
+	P     token.Pos
+}
+
+func (l *FloatLit) Pos() token.Pos { return l.P }
+func (*FloatLit) expr()            {}
+
+// CloneExpr copies the literal.
+func (l *FloatLit) CloneExpr() Expr { cp := *l; return &cp }
+
+// BoolLit is True or False.
+type BoolLit struct {
+	Value bool
+	P     token.Pos
+}
+
+func (l *BoolLit) Pos() token.Pos { return l.P }
+func (*BoolLit) expr()            {}
+
+// CloneExpr copies the literal.
+func (l *BoolLit) CloneExpr() Expr { cp := *l; return &cp }
+
+// InfLit is the INF constant (positive unless Neg).
+type InfLit struct {
+	Neg bool
+	P   token.Pos
+}
+
+func (l *InfLit) Pos() token.Pos { return l.P }
+func (*InfLit) expr()            {}
+
+// CloneExpr copies the literal.
+func (l *InfLit) CloneExpr() Expr { cp := *l; return &cp }
+
+// NilLit is the NIL node constant.
+type NilLit struct {
+	P token.Pos
+}
+
+func (l *NilLit) Pos() token.Pos { return l.P }
+func (*NilLit) expr()            {}
+
+// CloneExpr copies the literal.
+func (l *NilLit) CloneExpr() Expr { cp := *l; return &cp }
+
+// PropAccess is `target.prop` where target is node-, edge-, or
+// graph-valued (graph-valued targets are bulk accesses, lowered early).
+type PropAccess struct {
+	Target Expr
+	Prop   string
+	P      token.Pos
+}
+
+func (a *PropAccess) Pos() token.Pos { return a.P }
+func (*PropAccess) expr()            {}
+
+// CloneExpr deep-copies the access.
+func (a *PropAccess) CloneExpr() Expr {
+	return &PropAccess{Target: a.Target.CloneExpr(), Prop: a.Prop, P: a.P}
+}
+
+// Call is a builtin method call `target.Name(args)`, e.g. G.NumNodes(),
+// n.Degree(), G.PickRandom(), t.ToEdge().
+type Call struct {
+	Target Expr
+	Name   string
+	Args   []Expr
+	P      token.Pos
+}
+
+func (c *Call) Pos() token.Pos { return c.P }
+func (*Call) expr()            {}
+
+// CloneExpr deep-copies the call.
+func (c *Call) CloneExpr() Expr {
+	cp := &Call{Target: c.Target.CloneExpr(), Name: c.Name, P: c.P}
+	for _, a := range c.Args {
+		cp.Args = append(cp.Args, a.CloneExpr())
+	}
+	return cp
+}
+
+// BinOp is a binary operator.
+type BinOp int
+
+// Binary operators in increasing precedence groups.
+const (
+	BinOr BinOp = iota // ||
+	BinAnd
+	BinEq
+	BinNeq
+	BinLt
+	BinGt
+	BinLe
+	BinGe
+	BinAdd
+	BinSub
+	BinMul
+	BinDiv
+	BinMod
+)
+
+var binNames = [...]string{"||", "&&", "==", "!=", "<", ">", "<=", ">=", "+", "-", "*", "/", "%"}
+
+func (o BinOp) String() string { return binNames[o] }
+
+// IsComparison reports whether the operator yields Bool from operands.
+func (o BinOp) IsComparison() bool { return o >= BinEq && o <= BinGe }
+
+// IsLogical reports whether the operator is && or ||.
+func (o BinOp) IsLogical() bool { return o == BinOr || o == BinAnd }
+
+// Binary is `l op r`.
+type Binary struct {
+	Op   BinOp
+	L, R Expr
+	P    token.Pos
+}
+
+func (b *Binary) Pos() token.Pos { return b.P }
+func (*Binary) expr()            {}
+
+// CloneExpr deep-copies the expression.
+func (b *Binary) CloneExpr() Expr {
+	return &Binary{Op: b.Op, L: b.L.CloneExpr(), R: b.R.CloneExpr(), P: b.P}
+}
+
+// UnOp is a unary operator.
+type UnOp int
+
+// Unary operators.
+const (
+	UnNot UnOp = iota // !
+	UnNeg             // -
+)
+
+// Unary is `op x`.
+type Unary struct {
+	Op UnOp
+	X  Expr
+	P  token.Pos
+}
+
+func (u *Unary) Pos() token.Pos { return u.P }
+func (*Unary) expr()            {}
+
+// CloneExpr deep-copies the expression.
+func (u *Unary) CloneExpr() Expr { return &Unary{Op: u.Op, X: u.X.CloneExpr(), P: u.P} }
+
+// Ternary is `cond ? a : b`.
+type Ternary struct {
+	Cond, Then, Else Expr
+	P                token.Pos
+}
+
+func (t *Ternary) Pos() token.Pos { return t.P }
+func (*Ternary) expr()            {}
+
+// CloneExpr deep-copies the expression.
+func (t *Ternary) CloneExpr() Expr {
+	return &Ternary{Cond: t.Cond.CloneExpr(), Then: t.Then.CloneExpr(), Else: t.Else.CloneExpr(), P: t.P}
+}
+
+// ReduceKind enumerates group reduction expressions.
+type ReduceKind int
+
+// Group reductions.
+const (
+	RSum ReduceKind = iota
+	RProduct
+	RCount
+	RMax
+	RMin
+	RAvg
+	RExist
+	RAll
+)
+
+var reduceNames = [...]string{"Sum", "Product", "Count", "Max", "Min", "Avg", "Exist", "All"}
+
+func (k ReduceKind) String() string { return reduceNames[k] }
+
+// Reduce is a group reduction expression such as
+// `Sum(t: G.Nodes)[filter](body)`. Count has no body.
+type Reduce struct {
+	Kind   ReduceKind
+	Iter   string
+	Source string
+	Domain IterKind
+	Filter Expr // nil if absent
+	Body   Expr // nil for Count
+	P      token.Pos
+}
+
+func (r *Reduce) Pos() token.Pos { return r.P }
+func (*Reduce) expr()            {}
+
+// CloneExpr deep-copies the reduction.
+func (r *Reduce) CloneExpr() Expr {
+	c := &Reduce{Kind: r.Kind, Iter: r.Iter, Source: r.Source, Domain: r.Domain, P: r.P}
+	if r.Filter != nil {
+		c.Filter = r.Filter.CloneExpr()
+	}
+	if r.Body != nil {
+		c.Body = r.Body.CloneExpr()
+	}
+	return c
+}

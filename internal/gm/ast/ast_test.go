@@ -1,0 +1,239 @@
+package ast
+
+import (
+	"strings"
+	"testing"
+)
+
+func sampleProc() *Procedure {
+	// Procedure p(G: Graph, x: Node_Prop<Int>) {
+	//     Int s = 0;
+	//     Foreach (n: G.Nodes)(n.x > 1) {
+	//         Foreach (t: n.Nbrs) { t.x += n.x; }
+	//     }
+	//     If (s == 0) { Return; } Else { s = s - 1; }
+	//     While (s > 0) { s -= 1; }
+	// }
+	inner := &Foreach{
+		Iter: "t", Source: "n", Kind: IterOutNbrs,
+		Body: &Block{Stmts: []Stmt{
+			&Assign{LHS: &PropAccess{Target: &Ident{Name: "t"}, Prop: "x"}, Op: OpAdd,
+				RHS: &PropAccess{Target: &Ident{Name: "n"}, Prop: "x"}},
+		}},
+	}
+	return &Procedure{
+		Name: "p",
+		Params: []*Param{
+			{Name: "G", Type: &Type{Kind: TGraph}},
+			{Name: "x", Type: &Type{Kind: TNodeProp, Elem: &Type{Kind: TInt}}},
+		},
+		Body: &Block{Stmts: []Stmt{
+			&VarDecl{Type: &Type{Kind: TInt}, Names: []string{"s"}, Init: &IntLit{Value: 0}},
+			&Foreach{Iter: "n", Source: "G", Kind: IterNodes,
+				Filter: &Binary{Op: BinGt, L: &PropAccess{Target: &Ident{Name: "n"}, Prop: "x"}, R: &IntLit{Value: 1}},
+				Body:   &Block{Stmts: []Stmt{inner}},
+			},
+			&If{Cond: &Binary{Op: BinEq, L: &Ident{Name: "s"}, R: &IntLit{Value: 0}},
+				Then: &Block{Stmts: []Stmt{&Return{}}},
+				Else: &Block{Stmts: []Stmt{&Assign{LHS: &Ident{Name: "s"}, Op: OpSet,
+					RHS: &Binary{Op: BinSub, L: &Ident{Name: "s"}, R: &IntLit{Value: 1}}}}},
+			},
+			&While{Cond: &Binary{Op: BinGt, L: &Ident{Name: "s"}, R: &IntLit{Value: 0}},
+				Body: &Block{Stmts: []Stmt{&Assign{LHS: &Ident{Name: "s"}, Op: OpSub, RHS: &IntLit{Value: 1}}}},
+			},
+		}},
+	}
+}
+
+func TestWalkStmtsVisitsEverything(t *testing.T) {
+	var kinds []string
+	WalkStmts(sampleProc().Body, func(s Stmt) bool {
+		switch s.(type) {
+		case *Block:
+			kinds = append(kinds, "block")
+		case *VarDecl:
+			kinds = append(kinds, "decl")
+		case *Foreach:
+			kinds = append(kinds, "foreach")
+		case *Assign:
+			kinds = append(kinds, "assign")
+		case *If:
+			kinds = append(kinds, "if")
+		case *While:
+			kinds = append(kinds, "while")
+		case *Return:
+			kinds = append(kinds, "return")
+		}
+		return true
+	})
+	counts := map[string]int{}
+	for _, k := range kinds {
+		counts[k]++
+	}
+	if counts["foreach"] != 2 || counts["assign"] != 3 || counts["if"] != 1 ||
+		counts["while"] != 1 || counts["return"] != 1 || counts["decl"] != 1 {
+		t.Errorf("visit counts wrong: %v", counts)
+	}
+}
+
+func TestWalkStmtsPruning(t *testing.T) {
+	seen := 0
+	WalkStmts(sampleProc().Body, func(s Stmt) bool {
+		seen++
+		// Do not descend into loops.
+		_, isLoop := s.(*Foreach)
+		return !isLoop
+	})
+	// Outer block + decl + outer foreach + if + its 2 blocks + return +
+	// assign + while + its block + assign = 11.
+	if seen != 11 {
+		t.Errorf("pruned walk visited %d statements, want 11", seen)
+	}
+}
+
+func TestWalkExprsAndUsesIdent(t *testing.T) {
+	p := sampleProc()
+	idents := map[string]int{}
+	WalkExprs(p.Body, func(e Expr) bool {
+		if id, ok := e.(*Ident); ok {
+			idents[id.Name]++
+		}
+		return true
+	})
+	if idents["s"] != 5 || idents["n"] != 2 || idents["t"] != 1 {
+		t.Errorf("ident uses = %v", idents)
+	}
+	cond := &Binary{Op: BinAnd, L: &Ident{Name: "a"}, R: &Unary{Op: UnNot, X: &Ident{Name: "b"}}}
+	if !UsesIdent(cond, "a") || !UsesIdent(cond, "b") || UsesIdent(cond, "c") {
+		t.Error("UsesIdent wrong")
+	}
+}
+
+func TestRewriteExprsReplacesBottomUp(t *testing.T) {
+	p := sampleProc()
+	// Replace every IntLit 1 with 42.
+	RewriteExprs(p.Body, func(e Expr) Expr {
+		if l, ok := e.(*IntLit); ok && l.Value == 1 {
+			return &IntLit{Value: 42}
+		}
+		return e
+	})
+	found := 0
+	WalkExprs(p.Body, func(e Expr) bool {
+		if l, ok := e.(*IntLit); ok {
+			if l.Value == 1 {
+				t.Error("an IntLit 1 survived rewriting")
+			}
+			if l.Value == 42 {
+				found++
+			}
+		}
+		return true
+	})
+	// The tree has three IntLit-1 nodes: the filter, the Else branch,
+	// and the While body.
+	if found != 3 {
+		t.Errorf("found %d rewritten literals, want 3", found)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	p := sampleProc()
+	c := p.Clone()
+	before := Print(p)
+	RewriteExprs(c.Body, func(e Expr) Expr {
+		if _, ok := e.(*IntLit); ok {
+			return &IntLit{Value: 999}
+		}
+		return e
+	})
+	c.Params[0].Name = "H"
+	if Print(p) != before {
+		t.Error("clone mutation affected original")
+	}
+	if !strings.Contains(Print(c), "999") {
+		t.Error("clone mutation lost")
+	}
+}
+
+func TestPrintPrecedenceParens(t *testing.T) {
+	// (a + b) * c requires parens; a + b * c does not.
+	e1 := &Binary{Op: BinMul,
+		L: &Binary{Op: BinAdd, L: &Ident{Name: "a"}, R: &Ident{Name: "b"}},
+		R: &Ident{Name: "c"}}
+	if got := PrintExpr(e1); got != "(a + b) * c" {
+		t.Errorf("got %q", got)
+	}
+	e2 := &Binary{Op: BinAdd,
+		L: &Ident{Name: "a"},
+		R: &Binary{Op: BinMul, L: &Ident{Name: "b"}, R: &Ident{Name: "c"}}}
+	if got := PrintExpr(e2); got != "a + b * c" {
+		t.Errorf("got %q", got)
+	}
+	// Nested ternary in a condition position gets parenthesized.
+	e3 := &Binary{Op: BinAnd,
+		L: &Ternary{Cond: &Ident{Name: "a"}, Then: &Ident{Name: "b"}, Else: &Ident{Name: "c"}},
+		R: &Ident{Name: "d"}}
+	if got := PrintExpr(e3); !strings.Contains(got, "(") {
+		t.Errorf("ternary under && needs parens: %q", got)
+	}
+}
+
+func TestTypeString(t *testing.T) {
+	cases := []struct {
+		t    *Type
+		want string
+	}{
+		{&Type{Kind: TInt}, "Int"},
+		{&Type{Kind: TNodeProp, Elem: &Type{Kind: TDouble}}, "Node_Prop<Double>"},
+		{&Type{Kind: TEdgeProp, Elem: &Type{Kind: TInt}, Of: "G"}, "Edge_Prop<Int>(G)"},
+	}
+	for _, tc := range cases {
+		if got := tc.t.String(); got != tc.want {
+			t.Errorf("String() = %q, want %q", got, tc.want)
+		}
+	}
+}
+
+func TestOpAndKindStrings(t *testing.T) {
+	if OpMin.String() != "min=" || OpSet.String() != "=" {
+		t.Error("assign op strings")
+	}
+	if BinLe.String() != "<=" || BinMod.String() != "%" {
+		t.Error("binary op strings")
+	}
+	if IterInNbrs.String() != "InNbrs" || IterNodes.String() != "Nodes" {
+		t.Error("iter kind strings")
+	}
+	if RExist.String() != "Exist" {
+		t.Error("reduce kind strings")
+	}
+	if !OpAdd.IsReduction() || OpSet.IsReduction() {
+		t.Error("IsReduction")
+	}
+	if !BinEq.IsComparison() || BinAdd.IsComparison() {
+		t.Error("IsComparison")
+	}
+	if !BinAnd.IsLogical() || BinEq.IsLogical() {
+		t.Error("IsLogical")
+	}
+}
+
+func TestPrintStmtForms(t *testing.T) {
+	doWhile := &While{DoWhile: true,
+		Cond: &BoolLit{Value: true},
+		Body: &Block{Stmts: []Stmt{&Return{Value: &IntLit{Value: 1}}}},
+	}
+	out := PrintStmt(doWhile)
+	if !strings.HasPrefix(out, "Do ") || !strings.Contains(out, "While (True);") {
+		t.Errorf("do-while rendering: %q", out)
+	}
+	bfs := &InBFS{Iter: "v", Source: "G", Root: &Ident{Name: "s"},
+		Body:        &Block{},
+		ReverseBody: &Block{},
+	}
+	out = PrintStmt(bfs)
+	if !strings.Contains(out, "InBFS (v: G.Nodes From s)") || !strings.Contains(out, "InReverse") {
+		t.Errorf("InBFS rendering: %q", out)
+	}
+}

@@ -1,0 +1,134 @@
+package ast
+
+import (
+	"testing"
+)
+
+// allNodeStmts builds one instance of every statement kind containing
+// one instance of every expression kind, for exhaustive clone/print
+// checks.
+func allNodeStmts() []Stmt {
+	everyExpr := &Ternary{
+		Cond: &Binary{Op: BinAnd,
+			L: &Binary{Op: BinEq, L: &Ident{Name: "a"}, R: &NilLit{}},
+			R: &Unary{Op: UnNot, X: &BoolLit{Value: true}},
+		},
+		Then: &Binary{Op: BinAdd,
+			L: &Call{Target: &Ident{Name: "n"}, Name: "Degree"},
+			R: &PropAccess{Target: &Ident{Name: "n"}, Prop: "x"},
+		},
+		Else: &Reduce{Kind: RSum, Iter: "w", Source: "n", Domain: IterOutNbrs,
+			Filter: &Binary{Op: BinLt, L: &IntLit{Value: 1}, R: &FloatLit{Value: 2.5, Text: "2.5"}},
+			Body:   &InfLit{Neg: true},
+		},
+	}
+	return []Stmt{
+		&VarDecl{Type: &Type{Kind: TNodeProp, Elem: &Type{Kind: TDouble}, Of: "G"}, Names: []string{"p", "q"}},
+		&VarDecl{Type: &Type{Kind: TInt}, Names: []string{"k"}, Init: everyExpr.CloneExpr()},
+		&Assign{LHS: &Ident{Name: "k"}, Op: OpMax, RHS: everyExpr.CloneExpr()},
+		&If{Cond: &BoolLit{Value: true}, Then: &Block{}, Else: &Block{}},
+		&If{Cond: &BoolLit{Value: false}, Then: &Block{}},
+		&While{Cond: &BoolLit{}, Body: &Block{}},
+		&While{Cond: &BoolLit{}, Body: &Block{}, DoWhile: true},
+		&Foreach{Iter: "n", Source: "G", Kind: IterNodes, Filter: &BoolLit{Value: true}, Body: &Block{}},
+		&Foreach{Iter: "t", Source: "n", Kind: IterInNbrs, Body: &Block{}, Seq: true},
+		&InBFS{Iter: "v", Source: "G", Root: &Ident{Name: "s"}, Filter: &BoolLit{Value: true},
+			Body: &Block{}, ReverseBody: &Block{}},
+		&Return{},
+		&Return{Value: everyExpr.CloneExpr()},
+		&Block{Stmts: []Stmt{&Return{}}},
+	}
+}
+
+// TestCloneEveryNodeKind clones every statement/expression kind and
+// verifies the copies are deep (no aliasing of mutable children).
+func TestCloneEveryNodeKind(t *testing.T) {
+	for i, s := range allNodeStmts() {
+		orig := PrintStmt(s)
+		c := s.CloneStmt()
+		if PrintStmt(c) != orig {
+			t.Errorf("stmt %d: clone prints differently:\n%s\nvs\n%s", i, orig, PrintStmt(c))
+		}
+		// Mutate every literal in the clone; the original must not move.
+		RewriteExprs(c, func(e Expr) Expr {
+			switch e.(type) {
+			case *IntLit:
+				return &IntLit{Value: 111111}
+			case *FloatLit:
+				return &FloatLit{Value: 9.75, Text: "9.75"}
+			case *BoolLit:
+				return &BoolLit{Value: false}
+			case *Ident:
+				return &Ident{Name: "ZZZ"}
+			}
+			return e
+		})
+		if got := PrintStmt(s); got != orig {
+			t.Errorf("stmt %d: mutating clone changed original:\n%s\nvs\n%s", i, orig, got)
+		}
+	}
+}
+
+// TestPrintEveryNodeKind smoke-prints every node kind, covering printer
+// branches not reachable from the paper programs.
+func TestPrintEveryNodeKind(t *testing.T) {
+	for i, s := range allNodeStmts() {
+		if out := PrintStmt(s); out == "" {
+			t.Errorf("stmt %d printed empty", i)
+		}
+	}
+	p := &Procedure{
+		Name:   "everything",
+		Params: []*Param{{Name: "G", Type: &Type{Kind: TGraph}}},
+		Ret:    &Type{Kind: TDouble},
+		Body:   &Block{Stmts: allNodeStmts()},
+	}
+	out := Print(p)
+	for _, want := range []string{
+		"Procedure everything(G: Graph) : Double",
+		"Node_Prop<Double>(G) p, q;",
+		"Do {", "While (False)", "InBFS", "InReverse",
+		"For (t: n.InNbrs)", "Sum(w: n.Nbrs)", "-INF", "NIL",
+		"max=",
+	} {
+		if !containsStr(out, want) {
+			t.Errorf("printed procedure missing %q:\n%s", want, out)
+		}
+	}
+	c := p.Clone()
+	if Print(c) != out {
+		t.Error("procedure clone prints differently")
+	}
+}
+
+func containsStr(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}
+
+// TestWalkExprSinglePruning covers the expression-level walker's prune
+// behavior for every composite kind.
+func TestWalkExprSinglePruning(t *testing.T) {
+	e := &Binary{Op: BinAdd,
+		L: &Ternary{Cond: &BoolLit{}, Then: &IntLit{Value: 1}, Else: &IntLit{Value: 2}},
+		R: &Call{Target: &Ident{Name: "G"}, Name: "NumNodes", Args: []Expr{&IntLit{Value: 3}}},
+	}
+	total := 0
+	WalkExpr(e, func(Expr) bool { total++; return true })
+	if total != 8 {
+		t.Errorf("full walk visited %d, want 8", total)
+	}
+	pruned := 0
+	WalkExpr(e, func(x Expr) bool {
+		pruned++
+		_, isTern := x.(*Ternary)
+		return !isTern
+	})
+	if pruned != 5 { // binary, ternary (pruned), call, ident, intlit-arg
+		t.Errorf("pruned walk visited %d, want 5", pruned)
+	}
+}

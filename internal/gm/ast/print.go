@@ -1,0 +1,273 @@
+package ast
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Print renders the procedure back to Green-Marl source. The output
+// re-parses to a structurally identical tree (modulo positions), which
+// the parser tests rely on.
+func Print(p *Procedure) string {
+	var b strings.Builder
+	pr := printer{w: &b}
+	pr.procedure(p)
+	return b.String()
+}
+
+// PrintStmt renders one statement (used in diagnostics and debug dumps).
+func PrintStmt(s Stmt) string {
+	var b strings.Builder
+	pr := printer{w: &b}
+	pr.stmt(s)
+	return b.String()
+}
+
+// PrintExpr renders one expression.
+func PrintExpr(e Expr) string {
+	var b strings.Builder
+	pr := printer{w: &b}
+	pr.expr(e)
+	return b.String()
+}
+
+type printer struct {
+	w      *strings.Builder
+	indent int
+}
+
+func (p *printer) nl() {
+	p.w.WriteByte('\n')
+	for i := 0; i < p.indent; i++ {
+		p.w.WriteString("    ")
+	}
+}
+
+func (p *printer) printf(format string, args ...interface{}) {
+	fmt.Fprintf(p.w, format, args...)
+}
+
+func (p *printer) procedure(pr *Procedure) {
+	p.printf("Procedure %s(", pr.Name)
+	for i, prm := range pr.Params {
+		if i > 0 {
+			p.printf(", ")
+		}
+		p.printf("%s: %s", prm.Name, prm.Type)
+	}
+	p.printf(")")
+	if pr.Ret != nil {
+		p.printf(" : %s", pr.Ret)
+	}
+	p.printf(" ")
+	p.block(pr.Body)
+	p.w.WriteByte('\n')
+}
+
+func (p *printer) block(b *Block) {
+	p.printf("{")
+	p.indent++
+	for _, s := range b.Stmts {
+		p.nl()
+		p.stmt(s)
+	}
+	p.indent--
+	p.nl()
+	p.printf("}")
+}
+
+func (p *printer) stmtAsBlock(s Stmt) {
+	if b, ok := s.(*Block); ok {
+		p.block(b)
+		return
+	}
+	p.block(&Block{Stmts: []Stmt{s}})
+}
+
+func (p *printer) stmt(s Stmt) {
+	switch s := s.(type) {
+	case *Block:
+		p.block(s)
+	case *VarDecl:
+		p.printf("%s %s", s.Type, strings.Join(s.Names, ", "))
+		if s.Init != nil {
+			p.printf(" = ")
+			p.expr(s.Init)
+		}
+		p.printf(";")
+	case *Assign:
+		p.expr(s.LHS)
+		p.printf(" %s ", s.Op)
+		p.expr(s.RHS)
+		p.printf(";")
+	case *If:
+		p.printf("If (")
+		p.expr(s.Cond)
+		p.printf(") ")
+		p.stmtAsBlock(s.Then)
+		if s.Else != nil {
+			p.printf(" Else ")
+			p.stmtAsBlock(s.Else)
+		}
+	case *While:
+		if s.DoWhile {
+			p.printf("Do ")
+			p.stmtAsBlock(s.Body)
+			p.printf(" While (")
+			p.expr(s.Cond)
+			p.printf(");")
+		} else {
+			p.printf("While (")
+			p.expr(s.Cond)
+			p.printf(") ")
+			p.stmtAsBlock(s.Body)
+		}
+	case *Foreach:
+		kw := "Foreach"
+		if s.Seq {
+			kw = "For"
+		}
+		p.printf("%s (%s: %s.%s)", kw, s.Iter, s.Source, s.Kind)
+		if s.Filter != nil {
+			p.printf(" (")
+			p.expr(s.Filter)
+			p.printf(")")
+		}
+		p.printf(" ")
+		p.stmtAsBlock(s.Body)
+	case *InBFS:
+		p.printf("InBFS (%s: %s.Nodes From ", s.Iter, s.Source)
+		p.expr(s.Root)
+		p.printf(")")
+		if s.Filter != nil {
+			p.printf(" (")
+			p.expr(s.Filter)
+			p.printf(")")
+		}
+		p.printf(" ")
+		p.block(s.Body)
+		if s.ReverseBody != nil {
+			p.printf(" InReverse ")
+			p.block(s.ReverseBody)
+		}
+	case *Return:
+		p.printf("Return")
+		if s.Value != nil {
+			p.printf(" ")
+			p.expr(s.Value)
+		}
+		p.printf(";")
+	default:
+		p.printf("/* unknown stmt %T */", s)
+	}
+}
+
+// prec returns the precedence class of e for parenthesization.
+func prec(e Expr) int {
+	switch e := e.(type) {
+	case *Ternary:
+		return 0
+	case *Binary:
+		switch e.Op {
+		case BinOr:
+			return 1
+		case BinAnd:
+			return 2
+		case BinEq, BinNeq, BinLt, BinGt, BinLe, BinGe:
+			return 3
+		case BinAdd, BinSub:
+			return 4
+		default:
+			return 5
+		}
+	case *Unary:
+		return 6
+	default:
+		return 7
+	}
+}
+
+func (p *printer) exprPrec(e Expr, min int) {
+	if prec(e) < min {
+		p.printf("(")
+		p.expr(e)
+		p.printf(")")
+		return
+	}
+	p.expr(e)
+}
+
+func (p *printer) expr(e Expr) {
+	switch e := e.(type) {
+	case *Ident:
+		p.printf("%s", e.Name)
+	case *IntLit:
+		p.printf("%d", e.Value)
+	case *FloatLit:
+		if e.Text != "" {
+			p.printf("%s", e.Text)
+		} else {
+			p.printf("%s", strconv.FormatFloat(e.Value, 'g', -1, 64))
+		}
+	case *BoolLit:
+		if e.Value {
+			p.printf("True")
+		} else {
+			p.printf("False")
+		}
+	case *InfLit:
+		if e.Neg {
+			p.printf("-INF")
+		} else {
+			p.printf("INF")
+		}
+	case *NilLit:
+		p.printf("NIL")
+	case *PropAccess:
+		p.exprPrec(e.Target, 7)
+		p.printf(".%s", e.Prop)
+	case *Call:
+		p.exprPrec(e.Target, 7)
+		p.printf(".%s(", e.Name)
+		for i, a := range e.Args {
+			if i > 0 {
+				p.printf(", ")
+			}
+			p.expr(a)
+		}
+		p.printf(")")
+	case *Binary:
+		pc := prec(e)
+		p.exprPrec(e.L, pc)
+		p.printf(" %s ", e.Op)
+		p.exprPrec(e.R, pc+1)
+	case *Unary:
+		if e.Op == UnNot {
+			p.printf("!")
+		} else {
+			p.printf("-")
+		}
+		p.exprPrec(e.X, 6)
+	case *Ternary:
+		p.exprPrec(e.Cond, 1)
+		p.printf(" ? ")
+		p.exprPrec(e.Then, 1)
+		p.printf(" : ")
+		p.exprPrec(e.Else, 0)
+	case *Reduce:
+		p.printf("%s(%s: %s.%s)", e.Kind, e.Iter, e.Source, e.Domain)
+		if e.Filter != nil {
+			p.printf("[")
+			p.expr(e.Filter)
+			p.printf("]")
+		}
+		if e.Body != nil {
+			p.printf("(")
+			p.expr(e.Body)
+			p.printf(")")
+		}
+	default:
+		p.printf("/* unknown expr %T */", e)
+	}
+}

@@ -1,0 +1,203 @@
+package ast
+
+// WalkExprs calls f on every expression in the subtree rooted at s
+// (pre-order). Returning false from f stops descent into that
+// expression's children (but not siblings).
+func WalkExprs(s Stmt, f func(Expr) bool) {
+	switch s := s.(type) {
+	case *Block:
+		for _, st := range s.Stmts {
+			WalkExprs(st, f)
+		}
+	case *VarDecl:
+		if s.Init != nil {
+			walkExpr(s.Init, f)
+		}
+	case *Assign:
+		walkExpr(s.LHS, f)
+		walkExpr(s.RHS, f)
+	case *If:
+		walkExpr(s.Cond, f)
+		WalkExprs(s.Then, f)
+		if s.Else != nil {
+			WalkExprs(s.Else, f)
+		}
+	case *While:
+		walkExpr(s.Cond, f)
+		WalkExprs(s.Body, f)
+	case *Foreach:
+		if s.Filter != nil {
+			walkExpr(s.Filter, f)
+		}
+		WalkExprs(s.Body, f)
+	case *InBFS:
+		walkExpr(s.Root, f)
+		if s.Filter != nil {
+			walkExpr(s.Filter, f)
+		}
+		WalkExprs(s.Body, f)
+		if s.ReverseBody != nil {
+			WalkExprs(s.ReverseBody, f)
+		}
+	case *Return:
+		if s.Value != nil {
+			walkExpr(s.Value, f)
+		}
+	}
+}
+
+func walkExpr(e Expr, f func(Expr) bool) {
+	if e == nil || !f(e) {
+		return
+	}
+	switch e := e.(type) {
+	case *PropAccess:
+		walkExpr(e.Target, f)
+	case *Call:
+		walkExpr(e.Target, f)
+		for _, a := range e.Args {
+			walkExpr(a, f)
+		}
+	case *Binary:
+		walkExpr(e.L, f)
+		walkExpr(e.R, f)
+	case *Unary:
+		walkExpr(e.X, f)
+	case *Ternary:
+		walkExpr(e.Cond, f)
+		walkExpr(e.Then, f)
+		walkExpr(e.Else, f)
+	case *Reduce:
+		if e.Filter != nil {
+			walkExpr(e.Filter, f)
+		}
+		if e.Body != nil {
+			walkExpr(e.Body, f)
+		}
+	}
+}
+
+// WalkExpr calls f on e and every sub-expression (pre-order). Returning
+// false stops descent into that expression's children.
+func WalkExpr(e Expr, f func(Expr) bool) { walkExpr(e, f) }
+
+// WalkStmts calls f on every statement in the subtree rooted at s
+// (pre-order, including s itself). Returning false from f stops descent
+// into that statement's children.
+func WalkStmts(s Stmt, f func(Stmt) bool) {
+	if s == nil || !f(s) {
+		return
+	}
+	switch s := s.(type) {
+	case *Block:
+		for _, st := range s.Stmts {
+			WalkStmts(st, f)
+		}
+	case *If:
+		WalkStmts(s.Then, f)
+		if s.Else != nil {
+			WalkStmts(s.Else, f)
+		}
+	case *While:
+		WalkStmts(s.Body, f)
+	case *Foreach:
+		WalkStmts(s.Body, f)
+	case *InBFS:
+		WalkStmts(s.Body, f)
+		if s.ReverseBody != nil {
+			WalkStmts(s.ReverseBody, f)
+		}
+	}
+}
+
+// RewriteExprs replaces every expression in the statement subtree via f,
+// applied bottom-up (children first, then the enclosing expression).
+func RewriteExprs(s Stmt, f func(Expr) Expr) {
+	switch s := s.(type) {
+	case *Block:
+		for _, st := range s.Stmts {
+			RewriteExprs(st, f)
+		}
+	case *VarDecl:
+		if s.Init != nil {
+			s.Init = rewriteExpr(s.Init, f)
+		}
+	case *Assign:
+		s.LHS = rewriteExpr(s.LHS, f)
+		s.RHS = rewriteExpr(s.RHS, f)
+	case *If:
+		s.Cond = rewriteExpr(s.Cond, f)
+		RewriteExprs(s.Then, f)
+		if s.Else != nil {
+			RewriteExprs(s.Else, f)
+		}
+	case *While:
+		s.Cond = rewriteExpr(s.Cond, f)
+		RewriteExprs(s.Body, f)
+	case *Foreach:
+		if s.Filter != nil {
+			s.Filter = rewriteExpr(s.Filter, f)
+		}
+		RewriteExprs(s.Body, f)
+	case *InBFS:
+		s.Root = rewriteExpr(s.Root, f)
+		if s.Filter != nil {
+			s.Filter = rewriteExpr(s.Filter, f)
+		}
+		RewriteExprs(s.Body, f)
+		if s.ReverseBody != nil {
+			RewriteExprs(s.ReverseBody, f)
+		}
+	case *Return:
+		if s.Value != nil {
+			s.Value = rewriteExpr(s.Value, f)
+		}
+	}
+}
+
+// RewriteExpr rewrites e bottom-up via f and returns the replacement.
+func RewriteExpr(e Expr, f func(Expr) Expr) Expr { return rewriteExpr(e, f) }
+
+func rewriteExpr(e Expr, f func(Expr) Expr) Expr {
+	if e == nil {
+		return nil
+	}
+	switch x := e.(type) {
+	case *PropAccess:
+		x.Target = rewriteExpr(x.Target, f)
+	case *Call:
+		x.Target = rewriteExpr(x.Target, f)
+		for i := range x.Args {
+			x.Args[i] = rewriteExpr(x.Args[i], f)
+		}
+	case *Binary:
+		x.L = rewriteExpr(x.L, f)
+		x.R = rewriteExpr(x.R, f)
+	case *Unary:
+		x.X = rewriteExpr(x.X, f)
+	case *Ternary:
+		x.Cond = rewriteExpr(x.Cond, f)
+		x.Then = rewriteExpr(x.Then, f)
+		x.Else = rewriteExpr(x.Else, f)
+	case *Reduce:
+		if x.Filter != nil {
+			x.Filter = rewriteExpr(x.Filter, f)
+		}
+		if x.Body != nil {
+			x.Body = rewriteExpr(x.Body, f)
+		}
+	}
+	return f(e)
+}
+
+// UsesIdent reports whether name is referenced anywhere in e.
+func UsesIdent(e Expr, name string) bool {
+	found := false
+	walkExpr(e, func(x Expr) bool {
+		if id, ok := x.(*Ident); ok && id.Name == name {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,327 @@
+// Package lexer tokenizes Green-Marl source text.
+//
+// The lexer is a straightforward hand-written scanner: it understands //
+// line comments and /* */ block comments, integer and floating literals,
+// identifiers/keywords (including the min= and max= reduction operators,
+// which lex as single tokens when an identifier `min`/`max` is
+// immediately followed by '='), and the punctuation of the subset grammar.
+package lexer
+
+import (
+	"fmt"
+	"unicode"
+
+	"gmpregel/internal/gm/token"
+)
+
+// Lexer scans one source text.
+type Lexer struct {
+	src    []rune
+	pos    int
+	line   int
+	col    int
+	errs   []error
+	peeked *token.Token
+}
+
+// New returns a lexer over src.
+func New(src string) *Lexer {
+	return &Lexer{src: []rune(src), line: 1, col: 1}
+}
+
+// Errors returns the lexical errors encountered so far.
+func (l *Lexer) Errors() []error { return l.errs }
+
+func (l *Lexer) errorf(p token.Pos, format string, args ...interface{}) {
+	l.errs = append(l.errs, fmt.Errorf("%s: %s", p, fmt.Sprintf(format, args...)))
+}
+
+func (l *Lexer) cur() rune {
+	if l.pos >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos]
+}
+
+func (l *Lexer) at(off int) rune {
+	if l.pos+off >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos+off]
+}
+
+func (l *Lexer) advance() {
+	if l.pos < len(l.src) {
+		if l.src[l.pos] == '\n' {
+			l.line++
+			l.col = 1
+		} else {
+			l.col++
+		}
+		l.pos++
+	}
+}
+
+func (l *Lexer) skipSpaceAndComments() {
+	for {
+		c := l.cur()
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			l.advance()
+		case c == '/' && l.at(1) == '/':
+			for l.cur() != 0 && l.cur() != '\n' {
+				l.advance()
+			}
+		case c == '/' && l.at(1) == '*':
+			start := token.Pos{Line: l.line, Col: l.col}
+			l.advance()
+			l.advance()
+			closed := false
+			for l.cur() != 0 {
+				if l.cur() == '*' && l.at(1) == '/' {
+					l.advance()
+					l.advance()
+					closed = true
+					break
+				}
+				l.advance()
+			}
+			if !closed {
+				l.errorf(start, "unterminated block comment")
+			}
+		default:
+			return
+		}
+	}
+}
+
+func isIdentStart(c rune) bool {
+	return c == '_' || unicode.IsLetter(c)
+}
+
+func isIdentPart(c rune) bool {
+	return c == '_' || unicode.IsLetter(c) || unicode.IsDigit(c)
+}
+
+// Peek returns the next token without consuming it.
+func (l *Lexer) Peek() token.Token {
+	if l.peeked == nil {
+		t := l.scan()
+		l.peeked = &t
+	}
+	return *l.peeked
+}
+
+// Next consumes and returns the next token.
+func (l *Lexer) Next() token.Token {
+	if l.peeked != nil {
+		t := *l.peeked
+		l.peeked = nil
+		return t
+	}
+	return l.scan()
+}
+
+func (l *Lexer) scan() token.Token {
+	l.skipSpaceAndComments()
+	p := token.Pos{Line: l.line, Col: l.col}
+	c := l.cur()
+	if c == 0 {
+		return token.Token{Kind: token.EOF, Pos: p}
+	}
+
+	if isIdentStart(c) {
+		start := l.pos
+		for isIdentPart(l.cur()) {
+			l.advance()
+		}
+		lit := string(l.src[start:l.pos])
+		// min= / max= reduction operators.
+		if l.cur() == '=' && l.at(1) != '=' {
+			if lit == "min" {
+				l.advance()
+				return token.Token{Kind: token.MINEQ, Lit: "min=", Pos: p}
+			}
+			if lit == "max" {
+				l.advance()
+				return token.Token{Kind: token.MAXEQ, Lit: "max=", Pos: p}
+			}
+		}
+		if k, ok := token.Keywords[lit]; ok {
+			return token.Token{Kind: k, Lit: lit, Pos: p}
+		}
+		return token.Token{Kind: token.IDENT, Lit: lit, Pos: p}
+	}
+
+	if unicode.IsDigit(c) {
+		start := l.pos
+		for unicode.IsDigit(l.cur()) {
+			l.advance()
+		}
+		isFloat := false
+		if l.cur() == '.' && unicode.IsDigit(l.at(1)) {
+			isFloat = true
+			l.advance()
+			for unicode.IsDigit(l.cur()) {
+				l.advance()
+			}
+		}
+		if l.cur() == 'e' || l.cur() == 'E' {
+			save := l.pos
+			l.advance()
+			if l.cur() == '+' || l.cur() == '-' {
+				l.advance()
+			}
+			if unicode.IsDigit(l.cur()) {
+				isFloat = true
+				for unicode.IsDigit(l.cur()) {
+					l.advance()
+				}
+			} else {
+				l.pos = save
+			}
+		}
+		lit := string(l.src[start:l.pos])
+		if isFloat {
+			return token.Token{Kind: token.FLOATLIT, Lit: lit, Pos: p}
+		}
+		return token.Token{Kind: token.INTLIT, Lit: lit, Pos: p}
+	}
+
+	if c == '"' {
+		l.advance()
+		start := l.pos
+		for l.cur() != 0 && l.cur() != '"' && l.cur() != '\n' {
+			l.advance()
+		}
+		if l.cur() != '"' {
+			l.errorf(p, "unterminated string literal")
+			return token.Token{Kind: token.ILLEGAL, Lit: string(l.src[start:l.pos]), Pos: p}
+		}
+		lit := string(l.src[start:l.pos])
+		l.advance()
+		return token.Token{Kind: token.STRINGLIT, Lit: lit, Pos: p}
+	}
+
+	two := func(k token.Kind, lit string) token.Token {
+		l.advance()
+		l.advance()
+		return token.Token{Kind: k, Lit: lit, Pos: p}
+	}
+	one := func(k token.Kind) token.Token {
+		lit := string(c)
+		l.advance()
+		return token.Token{Kind: k, Lit: lit, Pos: p}
+	}
+
+	switch c {
+	case '(':
+		return one(token.LPAREN)
+	case ')':
+		return one(token.RPAREN)
+	case '{':
+		return one(token.LBRACE)
+	case '}':
+		return one(token.RBRACE)
+	case '[':
+		return one(token.LBRACKET)
+	case ']':
+		return one(token.RBRACKET)
+	case ';':
+		return one(token.SEMICOLON)
+	case ',':
+		return one(token.COMMA)
+	case '.':
+		return one(token.DOT)
+	case '?':
+		return one(token.QUESTION)
+	case ':':
+		return one(token.COLON)
+	case '@':
+		return one(token.AT)
+	case '+':
+		if l.at(1) == '=' {
+			return two(token.PLUSEQ, "+=")
+		}
+		if l.at(1) == '+' {
+			return two(token.PLUSPLUS, "++")
+		}
+		// "+INF" literal.
+		if l.at(1) == 'I' && l.at(2) == 'N' && l.at(3) == 'F' && !isIdentPart(l.at(4)) {
+			l.advance()
+			l.advance()
+			l.advance()
+			l.advance()
+			return token.Token{Kind: token.KwInf, Lit: "+INF", Pos: p}
+		}
+		return one(token.PLUS)
+	case '-':
+		if l.at(1) == '=' {
+			return two(token.MINUSEQ, "-=")
+		}
+		return one(token.MINUS)
+	case '*':
+		if l.at(1) == '=' {
+			return two(token.STAREQ, "*=")
+		}
+		return one(token.STAR)
+	case '/':
+		return one(token.SLASH)
+	case '%':
+		return one(token.PERCENT)
+	case '!':
+		if l.at(1) == '=' {
+			return two(token.NEQ, "!=")
+		}
+		return one(token.NOT)
+	case '=':
+		if l.at(1) == '=' {
+			return two(token.EQ, "==")
+		}
+		return one(token.ASSIGN)
+	case '<':
+		if l.at(1) == '=' {
+			return two(token.LE, "<=")
+		}
+		return one(token.LT)
+	case '>':
+		if l.at(1) == '=' {
+			return two(token.GE, ">=")
+		}
+		return one(token.GT)
+	case '&':
+		if l.at(1) == '&' {
+			return two(token.AND, "&&")
+		}
+		if l.at(1) == '=' {
+			return two(token.ANDEQ, "&=")
+		}
+		l.errorf(p, "unexpected '&' (use '&&' or '&=')")
+		return one(token.ILLEGAL)
+	case '|':
+		if l.at(1) == '|' {
+			return two(token.OR, "||")
+		}
+		if l.at(1) == '=' {
+			return two(token.OREQ, "|=")
+		}
+		l.errorf(p, "unexpected '|' (use '||' or '|=')")
+		return one(token.ILLEGAL)
+	}
+	l.errorf(p, "unexpected character %q", string(c))
+	return one(token.ILLEGAL)
+}
+
+// All scans the entire input and returns every token up to and including
+// EOF. Useful for tests and tooling.
+func All(src string) []token.Token {
+	l := New(src)
+	var out []token.Token
+	for {
+		t := l.Next()
+		out = append(out, t)
+		if t.Kind == token.EOF {
+			return out
+		}
+	}
+}

@@ -1,0 +1,148 @@
+package lexer
+
+import (
+	"testing"
+
+	"gmpregel/internal/gm/token"
+)
+
+func kinds(src string) []token.Kind {
+	var out []token.Kind
+	for _, t := range All(src) {
+		out = append(out, t.Kind)
+	}
+	return out
+}
+
+func TestPunctuationAndOperators(t *testing.T) {
+	got := kinds("( ) { } [ ] ; , . ? : + - * / % ! = == != < > <= >= && || += -= *= &= |= ++")
+	want := []token.Kind{
+		token.LPAREN, token.RPAREN, token.LBRACE, token.RBRACE,
+		token.LBRACKET, token.RBRACKET, token.SEMICOLON, token.COMMA,
+		token.DOT, token.QUESTION, token.COLON, token.PLUS, token.MINUS,
+		token.STAR, token.SLASH, token.PERCENT, token.NOT, token.ASSIGN,
+		token.EQ, token.NEQ, token.LT, token.GT, token.LE, token.GE,
+		token.AND, token.OR, token.PLUSEQ, token.MINUSEQ, token.STAREQ,
+		token.ANDEQ, token.OREQ, token.PLUSPLUS, token.EOF,
+	}
+	if len(got) != len(want) {
+		t.Fatalf("token count = %d, want %d: %v", len(got), len(want), got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("token %d = %s, want %s", i, got[i], want[i])
+		}
+	}
+}
+
+func TestMinMaxReduceOperators(t *testing.T) {
+	toks := All("x.dist min= 3; y max= z; min == 2; Min(")
+	want := []token.Kind{
+		token.IDENT, token.DOT, token.IDENT, token.MINEQ, token.INTLIT, token.SEMICOLON,
+		token.IDENT, token.MAXEQ, token.IDENT, token.SEMICOLON,
+		token.IDENT, token.EQ, token.INTLIT, token.SEMICOLON,
+		token.KwMin, token.LPAREN, token.EOF,
+	}
+	for i, w := range want {
+		if toks[i].Kind != w {
+			t.Fatalf("token %d = %s, want %s (all: %v)", i, toks[i], w, toks)
+		}
+	}
+}
+
+func TestKeywordsAndAliases(t *testing.T) {
+	cases := map[string]token.Kind{
+		"Procedure": token.KwProcedure, "Proc": token.KwProcedure,
+		"Foreach": token.KwForeach, "ForEach": token.KwForeach,
+		"Node_Prop": token.KwNodeProp, "N_P": token.KwNodeProp,
+		"Edge_Prop": token.KwEdgeProp, "E_P": token.KwEdgeProp,
+		"InBFS": token.KwInBFS, "InReverse": token.KwInReverse,
+		"True": token.KwTrue, "False": token.KwFalse,
+		"INF": token.KwInf, "NIL": token.KwNil,
+		"While": token.KwWhile, "Do": token.KwDo, "Return": token.KwReturn,
+		"Exist": token.KwExist, "Sum": token.KwSum, "Avg": token.KwAvg,
+	}
+	for lit, want := range cases {
+		toks := All(lit)
+		if toks[0].Kind != want {
+			t.Errorf("%q lexed as %s, want %s", lit, toks[0].Kind, want)
+		}
+	}
+	// Lowercase identifiers are not keywords.
+	if toks := All("procedure foreach while"); toks[0].Kind != token.IDENT || toks[1].Kind != token.IDENT || toks[2].Kind != token.IDENT {
+		t.Error("lowercase words must lex as identifiers")
+	}
+}
+
+func TestNumbers(t *testing.T) {
+	toks := All("42 0 3.14 1e5 2.5e-3 7e 12.")
+	want := []struct {
+		k   token.Kind
+		lit string
+	}{
+		{token.INTLIT, "42"}, {token.INTLIT, "0"},
+		{token.FLOATLIT, "3.14"}, {token.FLOATLIT, "1e5"},
+		{token.FLOATLIT, "2.5e-3"},
+		{token.INTLIT, "7"}, {token.IDENT, "e"},
+		{token.INTLIT, "12"}, {token.DOT, "."},
+	}
+	for i, w := range want {
+		if toks[i].Kind != w.k || toks[i].Lit != w.lit {
+			t.Errorf("token %d = %v, want %s(%s)", i, toks[i], w.k, w.lit)
+		}
+	}
+}
+
+func TestComments(t *testing.T) {
+	toks := All("a // comment to end\nb /* block\nspanning */ c")
+	if len(toks) != 4 || toks[0].Lit != "a" || toks[1].Lit != "b" || toks[2].Lit != "c" {
+		t.Errorf("comments not skipped: %v", toks)
+	}
+	l := New("/* unterminated")
+	l.Next()
+	if len(l.Errors()) == 0 {
+		t.Error("unterminated block comment should error")
+	}
+}
+
+func TestPositions(t *testing.T) {
+	toks := All("a\n  bb\n")
+	if toks[0].Pos.Line != 1 || toks[0].Pos.Col != 1 {
+		t.Errorf("a at %v", toks[0].Pos)
+	}
+	if toks[1].Pos.Line != 2 || toks[1].Pos.Col != 3 {
+		t.Errorf("bb at %v", toks[1].Pos)
+	}
+}
+
+func TestPlusInf(t *testing.T) {
+	toks := All("x = +INF; y = a + INF;")
+	if toks[2].Kind != token.KwInf {
+		t.Errorf("+INF lexed as %v", toks[2])
+	}
+	// "a + INF" is PLUS then INF.
+	if toks[7].Kind != token.PLUS || toks[8].Kind != token.KwInf {
+		t.Errorf("a + INF lexed as %v %v", toks[7], toks[8])
+	}
+}
+
+func TestIllegalCharacters(t *testing.T) {
+	for _, src := range []string{"#", "$", "&x", "|x", "\"unterminated"} {
+		l := New(src)
+		for tok := l.Next(); tok.Kind != token.EOF; tok = l.Next() {
+		}
+		if len(l.Errors()) == 0 {
+			t.Errorf("input %q: expected a lexical error", src)
+		}
+	}
+}
+
+func TestPeekDoesNotConsume(t *testing.T) {
+	l := New("a b")
+	if l.Peek().Lit != "a" || l.Peek().Lit != "a" {
+		t.Error("Peek consumed input")
+	}
+	if l.Next().Lit != "a" || l.Next().Lit != "b" {
+		t.Error("Next after Peek out of order")
+	}
+}

@@ -1,0 +1,626 @@
+// Package parser builds the Green-Marl AST from source text.
+//
+// The grammar is the imperative subset of Green-Marl used throughout the
+// paper: procedures over a single graph, scalar and property
+// declarations, parallel Foreach with optional filters, While/Do-While,
+// If/Else, group reductions (Sum, Count, Product, Max, Min, Avg, Exist,
+// All), reduction assignments (+=, min=, …), the BFS traversal construct
+// InBFS … InReverse, and builtin methods (G.NumNodes, G.PickRandom,
+// n.Degree, t.ToEdge, …).
+package parser
+
+import (
+	"fmt"
+	"strconv"
+
+	"gmpregel/internal/gm/ast"
+	"gmpregel/internal/gm/lexer"
+	"gmpregel/internal/gm/token"
+)
+
+// Error is a parse error with position.
+type Error struct {
+	Pos token.Pos
+	Msg string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
+
+type parser struct {
+	lx  *lexer.Lexer
+	tok token.Token
+}
+
+// ParseProcedure parses a single procedure from src.
+func ParseProcedure(src string) (p *ast.Procedure, err error) {
+	procs, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	if len(procs) != 1 {
+		return nil, fmt.Errorf("parser: expected exactly one procedure, found %d", len(procs))
+	}
+	return procs[0], nil
+}
+
+// Parse parses all procedures in src.
+func Parse(src string) (procs []*ast.Procedure, err error) {
+	ps := &parser{lx: lexer.New(src)}
+	defer func() {
+		if r := recover(); r != nil {
+			pe, ok := r.(*Error)
+			if !ok {
+				panic(r)
+			}
+			err = pe
+		}
+	}()
+	ps.next()
+	for ps.tok.Kind != token.EOF {
+		procs = append(procs, ps.procedure())
+	}
+	if errs := ps.lx.Errors(); len(errs) > 0 {
+		return nil, errs[0]
+	}
+	if len(procs) == 0 {
+		return nil, fmt.Errorf("parser: no procedure found")
+	}
+	return procs, nil
+}
+
+func (p *parser) errorf(format string, args ...interface{}) {
+	panic(&Error{Pos: p.tok.Pos, Msg: fmt.Sprintf(format, args...)})
+}
+
+func (p *parser) next() { p.tok = p.lx.Next() }
+
+func (p *parser) expect(k token.Kind) token.Token {
+	if p.tok.Kind != k {
+		p.errorf("expected %s, found %s", k, p.tok)
+	}
+	t := p.tok
+	p.next()
+	return t
+}
+
+func (p *parser) accept(k token.Kind) bool {
+	if p.tok.Kind == k {
+		p.next()
+		return true
+	}
+	return false
+}
+
+func (p *parser) ident() string { return p.expect(token.IDENT).Lit }
+
+// isTypeStart reports whether k can begin a type.
+func isTypeStart(k token.Kind) bool {
+	switch k {
+	case token.KwGraph, token.KwInt, token.KwLong, token.KwFloat,
+		token.KwDouble, token.KwBool, token.KwNode, token.KwEdge,
+		token.KwNodeProp, token.KwEdgeProp:
+		return true
+	}
+	return false
+}
+
+func (p *parser) parseType() *ast.Type {
+	t := &ast.Type{}
+	switch p.tok.Kind {
+	case token.KwGraph:
+		t.Kind = ast.TGraph
+	case token.KwInt:
+		t.Kind = ast.TInt
+	case token.KwLong:
+		t.Kind = ast.TLong
+	case token.KwFloat:
+		t.Kind = ast.TFloat
+	case token.KwDouble:
+		t.Kind = ast.TDouble
+	case token.KwBool:
+		t.Kind = ast.TBool
+	case token.KwNode:
+		t.Kind = ast.TNode
+	case token.KwEdge:
+		t.Kind = ast.TEdge
+	case token.KwNodeProp:
+		t.Kind = ast.TNodeProp
+	case token.KwEdgeProp:
+		t.Kind = ast.TEdgeProp
+	default:
+		p.errorf("expected a type, found %s", p.tok)
+	}
+	p.next()
+	if t.Kind.IsProp() {
+		p.expect(token.LT)
+		t.Elem = p.parseType()
+		p.expect(token.GT)
+		if p.accept(token.LPAREN) {
+			t.Of = p.ident()
+			p.expect(token.RPAREN)
+		} else if p.accept(token.LBRACKET) {
+			t.Of = p.ident()
+			p.expect(token.RBRACKET)
+		}
+	}
+	// Node(G) / Edge(G) graph binding.
+	if (t.Kind == ast.TNode || t.Kind == ast.TEdge) && p.tok.Kind == token.LPAREN {
+		// Only a binding if it looks like (Ident) — a lookahead hack is
+		// unnecessary because Node/Edge types never take call syntax here.
+		p.next()
+		t.Of = p.ident()
+		p.expect(token.RPAREN)
+	}
+	return t
+}
+
+func (p *parser) procedure() *ast.Procedure {
+	pos := p.tok.Pos
+	if !p.accept(token.KwLocal) {
+		// "Local" prefix is optional.
+	}
+	p.expect(token.KwProcedure)
+	pr := &ast.Procedure{Name: p.ident(), P: pos}
+	p.expect(token.LPAREN)
+	for p.tok.Kind != token.RPAREN {
+		prm := &ast.Param{P: p.tok.Pos, Name: p.ident()}
+		p.expect(token.COLON)
+		prm.Type = p.parseType()
+		pr.Params = append(pr.Params, prm)
+		// Allow several names sharing a type? Green-Marl separates with
+		// commas between full params; also support `a, b: Int`.
+		if p.tok.Kind == token.COMMA {
+			p.next()
+		} else if p.tok.Kind == token.SEMICOLON {
+			p.next()
+		}
+	}
+	p.expect(token.RPAREN)
+	if p.accept(token.COLON) {
+		pr.Ret = p.parseType()
+	}
+	pr.Body = p.block()
+	return pr
+}
+
+func (p *parser) block() *ast.Block {
+	b := &ast.Block{P: p.tok.Pos}
+	p.expect(token.LBRACE)
+	for p.tok.Kind != token.RBRACE {
+		if p.tok.Kind == token.EOF {
+			p.errorf("unexpected EOF inside block")
+		}
+		b.Stmts = append(b.Stmts, p.stmt())
+	}
+	p.expect(token.RBRACE)
+	return b
+}
+
+func (p *parser) stmtOrBlock() ast.Stmt {
+	if p.tok.Kind == token.LBRACE {
+		return p.block()
+	}
+	return p.stmt()
+}
+
+func (p *parser) stmt() ast.Stmt {
+	pos := p.tok.Pos
+	switch {
+	case p.tok.Kind == token.LBRACE:
+		return p.block()
+	case isTypeStart(p.tok.Kind):
+		return p.varDecl()
+	case p.tok.Kind == token.KwIf:
+		p.next()
+		p.expect(token.LPAREN)
+		cond := p.expr()
+		p.expect(token.RPAREN)
+		then := p.stmtOrBlock()
+		var els ast.Stmt
+		if p.accept(token.KwElse) {
+			els = p.stmtOrBlock()
+		}
+		return &ast.If{Cond: cond, Then: then, Else: els, P: pos}
+	case p.tok.Kind == token.KwWhile:
+		p.next()
+		p.expect(token.LPAREN)
+		cond := p.expr()
+		p.expect(token.RPAREN)
+		body := p.stmtOrBlock()
+		return &ast.While{Cond: cond, Body: body, P: pos}
+	case p.tok.Kind == token.KwDo:
+		p.next()
+		body := p.stmtOrBlock()
+		p.expect(token.KwWhile)
+		p.expect(token.LPAREN)
+		cond := p.expr()
+		p.expect(token.RPAREN)
+		p.expect(token.SEMICOLON)
+		return &ast.While{Cond: cond, Body: body, DoWhile: true, P: pos}
+	case p.tok.Kind == token.KwForeach || p.tok.Kind == token.KwFor:
+		seq := p.tok.Kind == token.KwFor
+		p.next()
+		p.expect(token.LPAREN)
+		iter := p.ident()
+		p.expect(token.COLON)
+		src := p.ident()
+		p.expect(token.DOT)
+		kind := p.iterKind()
+		p.expect(token.RPAREN)
+		var filter ast.Expr
+		if p.tok.Kind == token.LPAREN {
+			p.next()
+			filter = p.expr()
+			p.expect(token.RPAREN)
+		} else if p.tok.Kind == token.LBRACKET {
+			p.next()
+			filter = p.expr()
+			p.expect(token.RBRACKET)
+		}
+		body := p.stmtOrBlock()
+		return &ast.Foreach{Iter: iter, Source: src, Kind: kind, Filter: filter, Body: body, Seq: seq, P: pos}
+	case p.tok.Kind == token.KwInBFS:
+		return p.inBFS()
+	case p.tok.Kind == token.KwReturn:
+		p.next()
+		r := &ast.Return{P: pos}
+		if p.tok.Kind != token.SEMICOLON {
+			r.Value = p.expr()
+		}
+		p.expect(token.SEMICOLON)
+		return r
+	default:
+		return p.assign()
+	}
+}
+
+func (p *parser) iterKind() ast.IterKind {
+	name := p.ident()
+	switch name {
+	case "Nodes":
+		return ast.IterNodes
+	case "Nbrs", "OutNbrs":
+		return ast.IterOutNbrs
+	case "InNbrs":
+		return ast.IterInNbrs
+	case "UpNbrs":
+		return ast.IterUpNbrs
+	case "DownNbrs":
+		return ast.IterDownNbrs
+	}
+	p.errorf("unknown iteration domain %q", name)
+	return ast.IterNodes
+}
+
+func (p *parser) varDecl() ast.Stmt {
+	pos := p.tok.Pos
+	d := &ast.VarDecl{Type: p.parseType(), P: pos}
+	d.Names = append(d.Names, p.ident())
+	for p.accept(token.COMMA) {
+		d.Names = append(d.Names, p.ident())
+	}
+	if p.accept(token.ASSIGN) {
+		if len(d.Names) != 1 {
+			p.errorf("initializer requires a single declared name")
+		}
+		d.Init = p.expr()
+	}
+	p.expect(token.SEMICOLON)
+	return d
+}
+
+func (p *parser) assign() ast.Stmt {
+	pos := p.tok.Pos
+	lhs := p.postfixExpr()
+	switch lhs.(type) {
+	case *ast.Ident, *ast.PropAccess:
+	default:
+		p.errorf("invalid assignment target %s", ast.PrintExpr(lhs))
+	}
+	if p.tok.Kind == token.PLUSPLUS {
+		p.next()
+		p.expect(token.SEMICOLON)
+		return &ast.Assign{LHS: lhs, Op: ast.OpAdd, RHS: &ast.IntLit{Value: 1, P: pos}, P: pos}
+	}
+	var op ast.AssignOp
+	switch p.tok.Kind {
+	case token.ASSIGN:
+		op = ast.OpSet
+	case token.PLUSEQ:
+		op = ast.OpAdd
+	case token.MINUSEQ:
+		op = ast.OpSub
+	case token.STAREQ:
+		op = ast.OpMul
+	case token.MINEQ:
+		op = ast.OpMin
+	case token.MAXEQ:
+		op = ast.OpMax
+	case token.ANDEQ:
+		op = ast.OpAnd
+	case token.OREQ:
+		op = ast.OpOr
+	default:
+		p.errorf("expected assignment operator, found %s", p.tok)
+	}
+	p.next()
+	rhs := p.expr()
+	p.expect(token.SEMICOLON)
+	return &ast.Assign{LHS: lhs, Op: op, RHS: rhs, P: pos}
+}
+
+func (p *parser) inBFS() ast.Stmt {
+	pos := p.tok.Pos
+	p.expect(token.KwInBFS)
+	p.expect(token.LPAREN)
+	iter := p.ident()
+	p.expect(token.COLON)
+	src := p.ident()
+	p.expect(token.DOT)
+	if k := p.iterKind(); k != ast.IterNodes {
+		p.errorf("InBFS iterates G.Nodes, found %s", k)
+	}
+	p.expect(token.KwFrom)
+	root := p.expr()
+	p.expect(token.RPAREN)
+	b := &ast.InBFS{Iter: iter, Source: src, Root: root, P: pos}
+	if p.tok.Kind == token.LBRACKET {
+		p.next()
+		b.Filter = p.expr()
+		p.expect(token.RBRACKET)
+	}
+	b.Body = p.block()
+	if p.accept(token.KwInReverse) {
+		b.ReverseBody = p.block()
+	}
+	return b
+}
+
+// ---- Expressions (precedence climbing) ----
+
+func (p *parser) expr() ast.Expr { return p.ternary() }
+
+func (p *parser) ternary() ast.Expr {
+	pos := p.tok.Pos
+	cond := p.orExpr()
+	if !p.accept(token.QUESTION) {
+		return cond
+	}
+	then := p.ternary()
+	p.expect(token.COLON)
+	els := p.ternary()
+	return &ast.Ternary{Cond: cond, Then: then, Else: els, P: pos}
+}
+
+func (p *parser) orExpr() ast.Expr {
+	l := p.andExpr()
+	for p.tok.Kind == token.OR {
+		pos := p.tok.Pos
+		p.next()
+		l = &ast.Binary{Op: ast.BinOr, L: l, R: p.andExpr(), P: pos}
+	}
+	return l
+}
+
+func (p *parser) andExpr() ast.Expr {
+	l := p.cmpExpr()
+	for p.tok.Kind == token.AND {
+		pos := p.tok.Pos
+		p.next()
+		l = &ast.Binary{Op: ast.BinAnd, L: l, R: p.cmpExpr(), P: pos}
+	}
+	return l
+}
+
+func (p *parser) cmpExpr() ast.Expr {
+	l := p.addExpr()
+	for {
+		var op ast.BinOp
+		switch p.tok.Kind {
+		case token.EQ:
+			op = ast.BinEq
+		case token.NEQ:
+			op = ast.BinNeq
+		case token.LT:
+			op = ast.BinLt
+		case token.GT:
+			op = ast.BinGt
+		case token.LE:
+			op = ast.BinLe
+		case token.GE:
+			op = ast.BinGe
+		default:
+			return l
+		}
+		pos := p.tok.Pos
+		p.next()
+		l = &ast.Binary{Op: op, L: l, R: p.addExpr(), P: pos}
+	}
+}
+
+func (p *parser) addExpr() ast.Expr {
+	l := p.mulExpr()
+	for {
+		var op ast.BinOp
+		switch p.tok.Kind {
+		case token.PLUS:
+			op = ast.BinAdd
+		case token.MINUS:
+			op = ast.BinSub
+		default:
+			return l
+		}
+		pos := p.tok.Pos
+		p.next()
+		l = &ast.Binary{Op: op, L: l, R: p.mulExpr(), P: pos}
+	}
+}
+
+func (p *parser) mulExpr() ast.Expr {
+	l := p.unaryExpr()
+	for {
+		var op ast.BinOp
+		switch p.tok.Kind {
+		case token.STAR:
+			op = ast.BinMul
+		case token.SLASH:
+			op = ast.BinDiv
+		case token.PERCENT:
+			op = ast.BinMod
+		default:
+			return l
+		}
+		pos := p.tok.Pos
+		p.next()
+		l = &ast.Binary{Op: op, L: l, R: p.unaryExpr(), P: pos}
+	}
+}
+
+func (p *parser) unaryExpr() ast.Expr {
+	pos := p.tok.Pos
+	switch p.tok.Kind {
+	case token.NOT:
+		p.next()
+		return &ast.Unary{Op: ast.UnNot, X: p.unaryExpr(), P: pos}
+	case token.MINUS:
+		p.next()
+		if p.tok.Kind == token.KwInf {
+			p.next()
+			return &ast.InfLit{Neg: true, P: pos}
+		}
+		return &ast.Unary{Op: ast.UnNeg, X: p.unaryExpr(), P: pos}
+	}
+	return p.postfixExpr()
+}
+
+func (p *parser) postfixExpr() ast.Expr {
+	e := p.primary()
+	for p.tok.Kind == token.DOT {
+		p.next()
+		name := p.ident()
+		pos := p.tok.Pos
+		if p.tok.Kind == token.LPAREN {
+			p.next()
+			c := &ast.Call{Target: e, Name: name, P: pos}
+			for p.tok.Kind != token.RPAREN {
+				c.Args = append(c.Args, p.expr())
+				if !p.accept(token.COMMA) {
+					break
+				}
+			}
+			p.expect(token.RPAREN)
+			e = c
+		} else {
+			e = &ast.PropAccess{Target: e, Prop: name, P: pos}
+		}
+	}
+	return e
+}
+
+func (p *parser) reduceKindOf(k token.Kind) (ast.ReduceKind, bool) {
+	switch k {
+	case token.KwSum:
+		return ast.RSum, true
+	case token.KwProduct:
+		return ast.RProduct, true
+	case token.KwCount:
+		return ast.RCount, true
+	case token.KwMax:
+		return ast.RMax, true
+	case token.KwMin:
+		return ast.RMin, true
+	case token.KwAvg:
+		return ast.RAvg, true
+	case token.KwExist:
+		return ast.RExist, true
+	case token.KwAll:
+		return ast.RAll, true
+	}
+	return 0, false
+}
+
+func (p *parser) primary() ast.Expr {
+	pos := p.tok.Pos
+	if rk, ok := p.reduceKindOf(p.tok.Kind); ok {
+		p.next()
+		return p.reduceExpr(rk, pos)
+	}
+	switch p.tok.Kind {
+	case token.IDENT:
+		name := p.tok.Lit
+		p.next()
+		return &ast.Ident{Name: name, P: pos}
+	case token.INTLIT:
+		v, err := strconv.ParseInt(p.tok.Lit, 10, 64)
+		if err != nil {
+			p.errorf("bad integer literal %q: %v", p.tok.Lit, err)
+		}
+		p.next()
+		return &ast.IntLit{Value: v, P: pos}
+	case token.FLOATLIT:
+		v, err := strconv.ParseFloat(p.tok.Lit, 64)
+		if err != nil {
+			p.errorf("bad float literal %q: %v", p.tok.Lit, err)
+		}
+		text := p.tok.Lit
+		p.next()
+		return &ast.FloatLit{Value: v, Text: text, P: pos}
+	case token.KwTrue:
+		p.next()
+		return &ast.BoolLit{Value: true, P: pos}
+	case token.KwFalse:
+		p.next()
+		return &ast.BoolLit{Value: false, P: pos}
+	case token.KwInf:
+		p.next()
+		return &ast.InfLit{P: pos}
+	case token.KwNil:
+		p.next()
+		return &ast.NilLit{P: pos}
+	case token.LPAREN:
+		p.next()
+		e := p.expr()
+		p.expect(token.RPAREN)
+		return e
+	}
+	p.errorf("unexpected token %s in expression", p.tok)
+	return nil
+}
+
+// reduceExpr parses the clause after a reduction keyword:
+// (iter: src.Domain) [filter]? (body)?  — for Count/Exist/All a single
+// trailing parenthesized expression is the condition.
+func (p *parser) reduceExpr(kind ast.ReduceKind, pos token.Pos) ast.Expr {
+	p.expect(token.LPAREN)
+	iter := p.ident()
+	p.expect(token.COLON)
+	src := p.ident()
+	p.expect(token.DOT)
+	domain := p.iterKind()
+	p.expect(token.RPAREN)
+	r := &ast.Reduce{Kind: kind, Iter: iter, Source: src, Domain: domain, P: pos}
+	if p.tok.Kind == token.LBRACKET {
+		p.next()
+		r.Filter = p.expr()
+		p.expect(token.RBRACKET)
+	}
+	condStyle := kind == ast.RCount || kind == ast.RExist
+	if p.tok.Kind == token.LPAREN {
+		p.next()
+		body := p.expr()
+		p.expect(token.RPAREN)
+		if condStyle {
+			if r.Filter == nil {
+				r.Filter = body
+			} else {
+				r.Filter = &ast.Binary{Op: ast.BinAnd, L: r.Filter, R: body, P: body.Pos()}
+			}
+		} else {
+			r.Body = body
+		}
+	}
+	if !condStyle && r.Body == nil {
+		p.errorf("%s reduction requires a (body) expression", kind)
+	}
+	return r
+}

@@ -1,0 +1,288 @@
+package parser
+
+import (
+	"strings"
+	"testing"
+
+	"gmpregel/internal/algorithms"
+	"gmpregel/internal/gm/ast"
+)
+
+func parseOne(t *testing.T, src string) *ast.Procedure {
+	t.Helper()
+	p, err := ParseProcedure(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return p
+}
+
+func TestParseMinimalProcedure(t *testing.T) {
+	p := parseOne(t, `Procedure f(G: Graph) { Int x = 1; }`)
+	if p.Name != "f" || len(p.Params) != 1 || p.Ret != nil {
+		t.Fatalf("bad procedure: %+v", p)
+	}
+	if p.Params[0].Type.Kind != ast.TGraph {
+		t.Errorf("param type = %v", p.Params[0].Type)
+	}
+	d, ok := p.Body.Stmts[0].(*ast.VarDecl)
+	if !ok || d.Names[0] != "x" || d.Init == nil {
+		t.Fatalf("bad decl: %#v", p.Body.Stmts[0])
+	}
+}
+
+func TestParsePropTypes(t *testing.T) {
+	p := parseOne(t, `Procedure f(G: Graph, a: Node_Prop<Int>, b: E_P<Double>(G)) : Double {
+		Node_Prop<Bool> flag;
+		Return 0.0;
+	}`)
+	if p.Params[1].Type.Kind != ast.TNodeProp || p.Params[1].Type.Elem.Kind != ast.TInt {
+		t.Errorf("a type = %v", p.Params[1].Type)
+	}
+	if p.Params[2].Type.Kind != ast.TEdgeProp || p.Params[2].Type.Of != "G" {
+		t.Errorf("b type = %v", p.Params[2].Type)
+	}
+	if p.Ret.Kind != ast.TDouble {
+		t.Errorf("ret = %v", p.Ret)
+	}
+}
+
+func TestParseForeachWithFilter(t *testing.T) {
+	p := parseOne(t, `Procedure f(G: Graph, age: Node_Prop<Int>) {
+		Foreach (n: G.Nodes)[n.age > 10] {
+			Foreach (t: n.Nbrs) (t.age < 5) {
+				t.age = 0;
+			}
+		}
+	}`)
+	fe := p.Body.Stmts[0].(*ast.Foreach)
+	if fe.Iter != "n" || fe.Kind != ast.IterNodes || fe.Filter == nil {
+		t.Fatalf("outer loop: %+v", fe)
+	}
+	inner := fe.Body.(*ast.Block).Stmts[0].(*ast.Foreach)
+	if inner.Kind != ast.IterOutNbrs || inner.Source != "n" || inner.Filter == nil {
+		t.Fatalf("inner loop: %+v", inner)
+	}
+}
+
+func TestParseIterDomains(t *testing.T) {
+	p := parseOne(t, `Procedure f(G: Graph) {
+		Foreach (a: G.Nodes) {
+			Foreach (b: a.InNbrs) { Foreach (c: b.OutNbrs) { Foreach (d: c.UpNbrs) { Foreach (e: d.DownNbrs) {} } } }
+		}
+	}`)
+	kinds := []ast.IterKind{}
+	ast.WalkStmts(p.Body, func(s ast.Stmt) bool {
+		if f, ok := s.(*ast.Foreach); ok {
+			kinds = append(kinds, f.Kind)
+		}
+		return true
+	})
+	want := []ast.IterKind{ast.IterNodes, ast.IterInNbrs, ast.IterOutNbrs, ast.IterUpNbrs, ast.IterDownNbrs}
+	if len(kinds) != len(want) {
+		t.Fatalf("kinds = %v", kinds)
+	}
+	for i := range want {
+		if kinds[i] != want[i] {
+			t.Errorf("kind %d = %v, want %v", i, kinds[i], want[i])
+		}
+	}
+}
+
+func TestParseReductionAssignments(t *testing.T) {
+	p := parseOne(t, `Procedure f(G: Graph, x: Node_Prop<Int>) {
+		Foreach (n: G.Nodes) {
+			n.x += 1; n.x -= 2; n.x *= 3; n.x min= 4; n.x max= 5;
+		}
+		Int c = 0;
+		c++;
+	}`)
+	var ops []ast.AssignOp
+	ast.WalkStmts(p.Body, func(s ast.Stmt) bool {
+		if a, ok := s.(*ast.Assign); ok {
+			ops = append(ops, a.Op)
+		}
+		return true
+	})
+	want := []ast.AssignOp{ast.OpAdd, ast.OpSub, ast.OpMul, ast.OpMin, ast.OpMax, ast.OpAdd}
+	if len(ops) != len(want) {
+		t.Fatalf("ops = %v", ops)
+	}
+	for i := range want {
+		if ops[i] != want[i] {
+			t.Errorf("op %d = %v, want %v", i, ops[i], want[i])
+		}
+	}
+}
+
+func TestParseTernaryAndPrecedence(t *testing.T) {
+	p := parseOne(t, `Procedure f(G: Graph) {
+		Int x = 1 + 2 * 3 < 7 && 1 != 2 ? 4 - 1 : 0;
+	}`)
+	d := p.Body.Stmts[0].(*ast.VarDecl)
+	tern, ok := d.Init.(*ast.Ternary)
+	if !ok {
+		t.Fatalf("init is %T, want ternary", d.Init)
+	}
+	and, ok := tern.Cond.(*ast.Binary)
+	if !ok || and.Op != ast.BinAnd {
+		t.Fatalf("cond = %s", ast.PrintExpr(tern.Cond))
+	}
+	lt := and.L.(*ast.Binary)
+	if lt.Op != ast.BinLt {
+		t.Errorf("lhs of && = %s", ast.PrintExpr(and.L))
+	}
+	add := lt.L.(*ast.Binary)
+	if add.Op != ast.BinAdd {
+		t.Errorf("lhs of < = %s", ast.PrintExpr(lt.L))
+	}
+	if mul := add.R.(*ast.Binary); mul.Op != ast.BinMul {
+		t.Errorf("rhs of + = %s", ast.PrintExpr(add.R))
+	}
+}
+
+func TestParseReduceExpressions(t *testing.T) {
+	p := parseOne(t, `Procedure f(G: Graph, m: Node_Prop<Int>) {
+		Int a = Sum(u: G.Nodes)[u.m == 1](u.Degree());
+		Int b = Count(t: G.Nodes)(t.m != 0);
+		Bool c = Exist(n: G.Nodes)[n.m > 2];
+	}`)
+	sum := p.Body.Stmts[0].(*ast.VarDecl).Init.(*ast.Reduce)
+	if sum.Kind != ast.RSum || sum.Filter == nil || sum.Body == nil {
+		t.Errorf("sum = %+v", sum)
+	}
+	cnt := p.Body.Stmts[1].(*ast.VarDecl).Init.(*ast.Reduce)
+	if cnt.Kind != ast.RCount || cnt.Filter == nil || cnt.Body != nil {
+		t.Errorf("count = %+v", cnt)
+	}
+	ex := p.Body.Stmts[2].(*ast.VarDecl).Init.(*ast.Reduce)
+	if ex.Kind != ast.RExist || ex.Filter == nil {
+		t.Errorf("exist = %+v", ex)
+	}
+}
+
+func TestParseCountCombinesBracketAndParenFilters(t *testing.T) {
+	p := parseOne(t, `Procedure f(G: Graph, m: Node_Prop<Int>) {
+		Int b = Count(t: G.Nodes)[t.m > 0](t.m < 9);
+	}`)
+	cnt := p.Body.Stmts[0].(*ast.VarDecl).Init.(*ast.Reduce)
+	b, ok := cnt.Filter.(*ast.Binary)
+	if !ok || b.Op != ast.BinAnd {
+		t.Fatalf("filter = %s", ast.PrintExpr(cnt.Filter))
+	}
+}
+
+func TestParseInBFS(t *testing.T) {
+	p := parseOne(t, `Procedure f(G: Graph, s: Node, sig: Node_Prop<Double>) {
+		InBFS (v: G.Nodes From s) {
+			v.sig += Sum(w: v.UpNbrs)(w.sig);
+		}
+		InReverse {
+			v.sig = 0.0;
+		}
+	}`)
+	b := p.Body.Stmts[0].(*ast.InBFS)
+	if b.Iter != "v" || b.Source != "G" || b.ReverseBody == nil {
+		t.Fatalf("inbfs = %+v", b)
+	}
+}
+
+func TestParseDoWhile(t *testing.T) {
+	p := parseOne(t, `Procedure f(G: Graph) {
+		Int i = 0;
+		Do { i = i + 1; } While (i < 3);
+	}`)
+	w := p.Body.Stmts[1].(*ast.While)
+	if !w.DoWhile {
+		t.Error("DoWhile flag not set")
+	}
+}
+
+func TestParseCallsAndProps(t *testing.T) {
+	p := parseOne(t, `Procedure f(G: Graph, d: Node_Prop<Int>) {
+		Node s = G.PickRandom();
+		Int n = G.NumNodes();
+		Foreach (v: G.Nodes) {
+			Int k = v.Degree();
+			v.d = k;
+		}
+	}`)
+	call := p.Body.Stmts[0].(*ast.VarDecl).Init.(*ast.Call)
+	if call.Name != "PickRandom" {
+		t.Errorf("call = %+v", call)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		``,                                 // empty
+		`Procedure f(G: Graph) { Int }`,    // missing name
+		`Procedure f(G: Graph) { x += ; }`, // missing RHS
+		`Procedure f(G: Graph) { Foreach (n: G.Bogus) {} }`,  // bad domain
+		`Procedure f(G: Graph) { While (x) }`,                // missing body
+		`Procedure f(G: Graph) { 1 + 2; }`,                   // expr is not a stmt
+		`Procedure f(G: Graph) { Int a, b = 3; }`,            // multi-name init
+		`Procedure f(G: Graph) { Sum(u: G.Nodes); }`,         // reduce as stmt
+		`Procedure f(G: Graph) { Int x = Sum(u: G.Nodes); }`, // sum without body
+		`Procedure f(G: Graph) { If (1 {} }`,                 // broken parens
+	}
+	for _, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("input %q: expected parse error", src)
+		}
+	}
+}
+
+// Round-trip: print(parse(src)) must re-parse to an identical rendering.
+func TestRoundTripPaperAlgorithms(t *testing.T) {
+	for name, src := range algorithms.ByName {
+		t.Run(name, func(t *testing.T) {
+			p1, err := ParseProcedure(src)
+			if err != nil {
+				t.Fatalf("parse original: %v", err)
+			}
+			out1 := ast.Print(p1)
+			p2, err := ParseProcedure(out1)
+			if err != nil {
+				t.Fatalf("re-parse printed form: %v\n%s", err, out1)
+			}
+			out2 := ast.Print(p2)
+			if out1 != out2 {
+				t.Errorf("printer not a fixpoint:\n--- first ---\n%s\n--- second ---\n%s", out1, out2)
+			}
+		})
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	p1 := parseOne(t, algorithms.SSSP)
+	p2 := p1.Clone()
+	// Mutate the clone; the original rendering must not change.
+	before := ast.Print(p1)
+	ast.WalkStmts(p2.Body, func(s ast.Stmt) bool {
+		if a, ok := s.(*ast.Assign); ok {
+			a.Op = ast.OpMax
+		}
+		return true
+	})
+	p2.Name = "mutated"
+	if got := ast.Print(p1); got != before {
+		t.Error("mutating clone changed the original")
+	}
+	if !strings.Contains(ast.Print(p2), "mutated") {
+		t.Error("clone mutation lost")
+	}
+}
+
+func TestParseMultipleProcedures(t *testing.T) {
+	procs, err := Parse(`
+		Procedure a(G: Graph) { Int x = 0; }
+		Procedure b(G: Graph) { Int y = 1; }
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(procs) != 2 || procs[0].Name != "a" || procs[1].Name != "b" {
+		t.Errorf("procs = %v", procs)
+	}
+}

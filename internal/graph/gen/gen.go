@@ -1,0 +1,184 @@
+// Package gen generates the synthetic input graphs of the evaluation.
+//
+// The paper evaluates on three graphs (its Table 1): the Twitter follower
+// network (42M nodes / 1.5B edges), a synthetic uniform-random bipartite
+// graph (75M / 1.5B), and the Sk-2005 web graph (51M / 1.9B). Those data
+// sets and a cluster to hold them are not available here, so this package
+// builds structurally similar stand-ins at a configurable scale:
+//
+//   - TwitterLike: preferential attachment → heavy-tailed in-degree, low
+//     diameter, like a social follower graph.
+//   - Bipartite: uniform random boy→girl edges, matching the paper's
+//     "Synthetic (Uniform Random)" bipartite input.
+//   - WebLike: RMAT with skewed quadrant probabilities → power-law with
+//     locality, like a web host graph.
+//
+// All generators are deterministic for a given seed.
+package gen
+
+import (
+	"math/rand"
+
+	"gmpregel/internal/graph"
+)
+
+// TwitterLike generates a directed preferential-attachment graph with n
+// vertices and approximately outDeg out-edges per vertex. Edge (u, v)
+// means "u follows v"; targets are chosen proportionally to in-degree,
+// producing the heavy-tailed follower distribution of the real graph.
+func TwitterLike(n, outDeg int, seed int64) *graph.Directed {
+	rng := rand.New(rand.NewSource(seed))
+	b := graph.NewBuilder(n)
+	// targets holds one entry per received edge plus one base entry per
+	// vertex, so sampling uniformly from it is preferential attachment
+	// with +1 smoothing.
+	targets := make([]graph.NodeID, 0, n*(outDeg+1))
+	for v := 0; v < n; v++ {
+		targets = append(targets, graph.NodeID(v))
+	}
+	for u := 0; u < n; u++ {
+		for k := 0; k < outDeg; k++ {
+			t := targets[rng.Intn(len(targets))]
+			if t == graph.NodeID(u) {
+				t = graph.NodeID(rng.Intn(n))
+				if t == graph.NodeID(u) {
+					continue
+				}
+			}
+			b.AddEdge(graph.NodeID(u), t)
+			targets = append(targets, t)
+		}
+	}
+	return b.Build()
+}
+
+// Bipartite generates a uniform-random bipartite graph with nBoys "boy"
+// vertices (IDs [0, nBoys)) followed by nGirls "girl" vertices. Each boy
+// gets outDeg edges to uniformly random girls. Only boy→girl edges exist,
+// matching the input contract of the paper's random bipartite matching
+// algorithm.
+func Bipartite(nBoys, nGirls, outDeg int, seed int64) *graph.Directed {
+	rng := rand.New(rand.NewSource(seed))
+	b := graph.NewBuilder(nBoys + nGirls)
+	for u := 0; u < nBoys; u++ {
+		for k := 0; k < outDeg; k++ {
+			g := nBoys + rng.Intn(nGirls)
+			b.AddEdge(graph.NodeID(u), graph.NodeID(g))
+		}
+	}
+	return b.Build()
+}
+
+// IsBipartiteBoyGirl reports whether every edge of g goes from a vertex
+// below the boundary to one at or above it — the invariant Bipartite
+// promises and the matching algorithms assume.
+func IsBipartiteBoyGirl(g *graph.Directed, boundary graph.NodeID) bool {
+	for v := graph.NodeID(0); int(v) < g.NumNodes(); v++ {
+		for _, d := range g.OutNbrs(v) {
+			if v >= boundary || d < boundary {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// WebLike generates an RMAT graph with 2^scale vertices and
+// edgeFactor·2^scale edges using the classic (0.57, 0.19, 0.19, 0.05)
+// quadrant split, which yields the skewed, locality-heavy structure of a
+// web crawl such as Sk-2005.
+func WebLike(scale, edgeFactor int, seed int64) *graph.Directed {
+	return RMAT(scale, edgeFactor, 0.57, 0.19, 0.19, seed)
+}
+
+// RMAT generates a recursive-matrix random graph with 2^scale vertices
+// and edgeFactor·2^scale edges; a, b, c are the upper quadrant
+// probabilities (d = 1-a-b-c).
+func RMAT(scale, edgeFactor int, a, b, c float64, seed int64) *graph.Directed {
+	rng := rand.New(rand.NewSource(seed))
+	n := 1 << uint(scale)
+	m := edgeFactor * n
+	bl := graph.NewBuilder(n)
+	for i := 0; i < m; i++ {
+		src, dst := 0, 0
+		for bit := n >> 1; bit >= 1; bit >>= 1 {
+			r := rng.Float64()
+			switch {
+			case r < a:
+				// top-left: neither bit set
+			case r < a+b:
+				dst |= bit
+			case r < a+b+c:
+				src |= bit
+			default:
+				src |= bit
+				dst |= bit
+			}
+		}
+		if src == dst {
+			continue
+		}
+		bl.AddEdge(graph.NodeID(src), graph.NodeID(dst))
+	}
+	return bl.Build()
+}
+
+// Random generates an Erdős–Rényi-style directed graph with n vertices
+// and m uniformly random edges (self-loops excluded).
+func Random(n int, m int, seed int64) *graph.Directed {
+	rng := rand.New(rand.NewSource(seed))
+	b := graph.NewBuilder(n)
+	for i := 0; i < m; i++ {
+		u := rng.Intn(n)
+		v := rng.Intn(n)
+		if u == v {
+			continue
+		}
+		b.AddEdge(graph.NodeID(u), graph.NodeID(v))
+	}
+	return b.Build()
+}
+
+// Ring generates a directed cycle 0→1→…→n-1→0; its diameter of n-1 makes
+// it the worst case for level-synchronous traversals in tests.
+func Ring(n int) *graph.Directed {
+	b := graph.NewBuilder(n)
+	for v := 0; v < n; v++ {
+		b.AddEdge(graph.NodeID(v), graph.NodeID((v+1)%n))
+	}
+	return b.Build()
+}
+
+// Grid generates a rows×cols grid with edges right and down, useful for
+// deterministic BFS-level tests.
+func Grid(rows, cols int) *graph.Directed {
+	b := graph.NewBuilder(rows * cols)
+	id := func(r, c int) graph.NodeID { return graph.NodeID(r*cols + c) }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if c+1 < cols {
+				b.AddEdge(id(r, c), id(r, c+1))
+			}
+			if r+1 < rows {
+				b.AddEdge(id(r, c), id(r+1, c))
+			}
+		}
+	}
+	return b.Build()
+}
+
+// CompleteBinaryTree generates a rooted tree with n vertices where vertex
+// v has children 2v+1 and 2v+2 (when in range), edges pointing away from
+// the root.
+func CompleteBinaryTree(n int) *graph.Directed {
+	b := graph.NewBuilder(n)
+	for v := 0; v < n; v++ {
+		if 2*v+1 < n {
+			b.AddEdge(graph.NodeID(v), graph.NodeID(2*v+1))
+		}
+		if 2*v+2 < n {
+			b.AddEdge(graph.NodeID(v), graph.NodeID(2*v+2))
+		}
+	}
+	return b.Build()
+}

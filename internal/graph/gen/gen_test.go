@@ -1,0 +1,125 @@
+package gen
+
+import (
+	"testing"
+
+	"gmpregel/internal/graph"
+)
+
+func TestTwitterLikeShape(t *testing.T) {
+	g := TwitterLike(2000, 8, 1)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 2000 {
+		t.Fatalf("nodes = %d", g.NumNodes())
+	}
+	// Roughly outDeg edges per vertex (a few are dropped on self-loop).
+	if g.NumEdges() < 2000*7 || g.NumEdges() > 2000*8 {
+		t.Errorf("edges = %d, want ~16000", g.NumEdges())
+	}
+	// Preferential attachment must produce a heavy tail: max in-degree
+	// far above the average.
+	maxIn := 0
+	for v := graph.NodeID(0); int(v) < g.NumNodes(); v++ {
+		if d := g.InDegree(v); d > maxIn {
+			maxIn = d
+		}
+	}
+	if maxIn < 40 {
+		t.Errorf("max in-degree = %d; expected a heavy-tailed hub", maxIn)
+	}
+	// No self-loops.
+	for v := graph.NodeID(0); int(v) < g.NumNodes(); v++ {
+		for _, d := range g.OutNbrs(v) {
+			if d == v {
+				t.Fatalf("self-loop at %d", v)
+			}
+		}
+	}
+}
+
+func TestTwitterLikeDeterministic(t *testing.T) {
+	a := TwitterLike(300, 4, 42)
+	b := TwitterLike(300, 4, 42)
+	if a.NumEdges() != b.NumEdges() {
+		t.Fatal("same seed produced different graphs")
+	}
+	for i := range a.OutDst {
+		if a.OutDst[i] != b.OutDst[i] {
+			t.Fatal("same seed produced different graphs")
+		}
+	}
+	c := TwitterLike(300, 4, 43)
+	same := a.NumEdges() == c.NumEdges()
+	if same {
+		for i := range a.OutDst {
+			if a.OutDst[i] != c.OutDst[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical graphs")
+	}
+}
+
+func TestBipartiteInvariant(t *testing.T) {
+	g := Bipartite(500, 700, 5, 9)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 1200 || g.NumEdges() != 2500 {
+		t.Fatalf("size = (%d,%d)", g.NumNodes(), g.NumEdges())
+	}
+	if !IsBipartiteBoyGirl(g, 500) {
+		t.Error("edge violates boy→girl structure")
+	}
+	if IsBipartiteBoyGirl(g, 499) {
+		t.Error("wrong boundary should fail the check")
+	}
+}
+
+func TestWebLikeSkew(t *testing.T) {
+	g := WebLike(12, 8, 3)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 4096 {
+		t.Fatalf("nodes = %d", g.NumNodes())
+	}
+	st := graph.ComputeStats(g)
+	if float64(st.MaxOutDeg) < 6*st.AvgOutDeg {
+		t.Errorf("max out-degree %d not skewed vs avg %.1f", st.MaxOutDeg, st.AvgOutDeg)
+	}
+}
+
+func TestRingAndGridAndTree(t *testing.T) {
+	r := Ring(10)
+	if r.NumEdges() != 10 || r.OutNbrs(9)[0] != 0 {
+		t.Error("ring wrong")
+	}
+	g := Grid(3, 4)
+	if g.NumNodes() != 12 || g.NumEdges() != int64(3*3+2*4) {
+		t.Errorf("grid edges = %d", g.NumEdges())
+	}
+	tr := CompleteBinaryTree(7)
+	if tr.NumEdges() != 6 || tr.OutDegree(0) != 2 || tr.OutDegree(3) != 0 {
+		t.Error("tree wrong")
+	}
+}
+
+func TestRandomBounds(t *testing.T) {
+	g := Random(50, 400, 5)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for v := graph.NodeID(0); int(v) < g.NumNodes(); v++ {
+		for _, d := range g.OutNbrs(v) {
+			if d == v {
+				t.Fatal("self-loop")
+			}
+		}
+	}
+}

@@ -1,0 +1,165 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+
+	"gmpregel/internal/gm/ast"
+)
+
+// TestAllExprStrings exercises every expression's rendering (the
+// machine listing depends on these).
+func TestAllExprStrings(t *testing.T) {
+	cases := []struct {
+		e    Expr
+		want string
+	}{
+		{Const{V: Int(7)}, "7"},
+		{Const{V: Float(1.5)}, "1.5"},
+		{Const{V: Bool(true)}, "true"},
+		{Const{V: Node(3)}, "n3"},
+		{Const{V: Zero(KNode)}, "NIL"},
+		{ScalarRef{Slot: 0, Name: "K"}, "$K"},
+		{LocalRef{Slot: 1, Name: "val"}, "%val"},
+		{PropRef{Slot: 0, Name: "dist"}, "this.dist"},
+		{EdgePropRef{Slot: 2, Name: "len"}, "edge.len"},
+		{CurNode{}, "this.id"},
+		{MsgField{Idx: 2, K: KFloat}, "msg.f2"},
+		{AggRef{Slot: 0, Name: "S"}, "agg.S"},
+		{Builtin{Op: BNumNodes}, "NumNodes()"},
+		{Builtin{Op: BDegree}, "Degree()"},
+		{Builtin{Op: BPickRandom}, "PickRandom()"},
+		{Builtin{Op: BNodeId}, "Id()"},
+		{Unary{Op: ast.UnNot, X: Const{V: Bool(false)}}, "!false"},
+		{Unary{Op: ast.UnNeg, X: Const{V: Int(2)}}, "-2"},
+		{Binary{Op: ast.BinAdd, L: Const{V: Int(1)}, R: Const{V: Int(2)}}, "(1 + 2)"},
+	}
+	for i, tc := range cases {
+		if got := tc.e.String(); got != tc.want {
+			t.Errorf("case %d: String() = %q, want %q", i, got, tc.want)
+		}
+	}
+}
+
+// TestAllStmtStrings exercises every statement's rendering.
+func TestAllStmtStrings(t *testing.T) {
+	one := Const{V: Int(1)}
+	cases := []struct {
+		s    Stmt
+		subs []string
+	}{
+		{SetScalar{Name: "x", Op: ast.OpAdd, RHS: one}, []string{"$x", "+=", "1"}},
+		{FoldAgg{ScalarName: "S", AggName: "S_+", Op: ast.OpAdd}, []string{"$S", "agg.S_+"}},
+		{SetLocal{Name: "v", RHS: one}, []string{"%v = 1"}},
+		{SetProp{Name: "p", Op: ast.OpMin, RHS: one}, []string{"this.p min= 1"}},
+		{ContribAgg{Name: "S", RHS: one}, []string{"agg.S <- 1"}},
+		{SendToNbrs{MsgType: 2, Payload: []Expr{one}}, []string{"sendToNbrs", "type=2", "[1]"}},
+		{SendTo{Target: CurNode{}, MsgType: 1, Payload: []Expr{one}}, []string{"sendTo", "this.id"}},
+		{SendToInNbrs{MsgType: 0, Payload: []Expr{one}}, []string{"sendToInNbrs"}},
+		{CollectInNbrs{MsgType: 0}, []string{"collectInNbrs"}},
+		{ForMsgs{MsgType: 3, Body: []Stmt{SetLocal{Name: "a", RHS: one}}}, []string{"for msgs(type=3)", "%a = 1"}},
+		{If{Cond: Const{V: Bool(true)}, Then: []Stmt{SetLocal{Name: "a", RHS: one}}, Else: []Stmt{SetLocal{Name: "b", RHS: one}}}, []string{"if true", "else"}},
+		{Return{}, []string{"return"}},
+		{Return{Value: one}, []string{"return 1"}},
+	}
+	for i, tc := range cases {
+		got := tc.s.String()
+		for _, sub := range tc.subs {
+			if !strings.Contains(got, sub) {
+				t.Errorf("case %d: %q missing %q", i, got, sub)
+			}
+		}
+	}
+}
+
+func TestEvalRemainingExprs(t *testing.T) {
+	env := &mockEnv{
+		scalars: []Value{Int(10)},
+		locals:  []Value{Float(2.5)},
+		props:   []Value{Bool(true)},
+		edges:   []Value{Int(4)},
+		node:    9,
+	}
+	if got := Eval(ScalarRef{Slot: 0}, env); got.AsInt() != 10 {
+		t.Errorf("scalar = %v", got)
+	}
+	if got := Eval(LocalRef{Slot: 0}, env); got.AsFloat() != 2.5 {
+		t.Errorf("local = %v", got)
+	}
+	if got := Eval(PropRef{Slot: 0}, env); !got.AsBool() {
+		t.Errorf("prop = %v", got)
+	}
+	if got := Eval(EdgePropRef{Slot: 0}, env); got.AsInt() != 4 {
+		t.Errorf("edge prop = %v", got)
+	}
+	if got := Eval(CurNode{}, env); got.AsNode() != 9 {
+		t.Errorf("cur node = %v", got)
+	}
+	if got := Eval(AggRef{Slot: 0}, env); got.AsInt() != 0 {
+		t.Errorf("unset agg = %v", got)
+	}
+	if got := Eval(Builtin{Op: BNumNodes}, env); got.AsInt() != 42 {
+		t.Errorf("builtin = %v", got)
+	}
+	// Comparisons through every operator.
+	two, three := Const{V: Int(2)}, Const{V: Int(3)}
+	ops := map[ast.BinOp]bool{
+		ast.BinEq: false, ast.BinNeq: true,
+		ast.BinLt: true, ast.BinGt: false,
+		ast.BinLe: true, ast.BinGe: false,
+	}
+	for op, want := range ops {
+		if got := Eval(Binary{Op: op, L: two, R: three}, env).AsBool(); got != want {
+			t.Errorf("2 %s 3 = %v, want %v", op, got, want)
+		}
+	}
+	// Float arithmetic sub/mul and ternary-else.
+	if got := Eval(Binary{Op: ast.BinSub, L: Const{V: Float(5)}, R: two}, env); got.AsFloat() != 3 {
+		t.Errorf("float sub = %v", got)
+	}
+	if got := Eval(Binary{Op: ast.BinMul, L: Const{V: Float(5)}, R: two}, env); got.AsFloat() != 10 {
+		t.Errorf("float mul = %v", got)
+	}
+	tern := Ternary{Cond: Const{V: Bool(false)}, Then: two, Else: three}
+	if got := Eval(tern, env); got.AsInt() != 3 {
+		t.Errorf("ternary else = %v", got)
+	}
+	// Negation of a float.
+	if got := Eval(Unary{Op: ast.UnNeg, X: Const{V: Float(2.5)}}, env); got.AsFloat() != -2.5 {
+		t.Errorf("float neg = %v", got)
+	}
+}
+
+func TestWalkStmtExprsCoversAllStatements(t *testing.T) {
+	one := Const{V: Int(1)}
+	stmts := []Stmt{
+		SetScalar{RHS: one},
+		SetLocal{RHS: one},
+		SetProp{RHS: one},
+		ContribAgg{RHS: one},
+		SendToNbrs{EdgeCond: one, Payload: []Expr{one}},
+		SendTo{Target: one, Payload: []Expr{one}},
+		SendToInNbrs{Payload: []Expr{one}},
+		ForMsgs{Body: []Stmt{SetLocal{RHS: one}}},
+		If{Cond: one, Then: []Stmt{SetLocal{RHS: one}}, Else: []Stmt{SetLocal{RHS: one}}},
+		Return{Value: one},
+	}
+	count := 0
+	WalkStmtExprs(stmts, func(e Expr) { count++ })
+	// 4 simple RHSs + SendToNbrs(2) + SendTo(2) + SendToInNbrs(1) +
+	// ForMsgs(1) + If(3) + Return(1) = 14.
+	if count != 14 {
+		t.Errorf("visited %d expressions, want 14", count)
+	}
+}
+
+func TestValueStrings(t *testing.T) {
+	if Int(5).String() != "5" || Bool(false).String() != "false" ||
+		Float(0.5).String() != "0.5" || Node(2).String() != "n2" ||
+		Zero(KNode).String() != "NIL" {
+		t.Error("value strings wrong")
+	}
+	if KInt.String() != "Int" || KNode.String() != "Node" {
+		t.Error("kind strings wrong")
+	}
+}

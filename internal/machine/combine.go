@@ -1,0 +1,122 @@
+package machine
+
+import (
+	"gmpregel/internal/gm/ast"
+	"gmpregel/internal/graph"
+	"gmpregel/internal/ir"
+	"gmpregel/internal/pregel"
+)
+
+// RunOptions control optional executor behavior.
+type RunOptions struct {
+	// UseCombiners installs Pregel message combiners for message types
+	// whose receive handlers are pure single-field reductions (min=, +=,
+	// …). Combining reduces message counts and network bytes — it is an
+	// engine-level optimization the paper's compiler does NOT apply, so
+	// it defaults to off; the ablation benchmarks measure its effect.
+	UseCombiners bool
+	// Interpret executes vertex states through the reference tree-walking
+	// interpreter instead of the closure-compiled bodies. Slower; used by
+	// the differential tests that check both executors agree.
+	Interpret bool
+}
+
+// RunWithOptions is Run plus executor options.
+func RunWithOptions(p *Program, g *graph.Directed, b Bindings, cfg pregel.Config, ro RunOptions) (*Result, error) {
+	return run(p, g, b, cfg, ro)
+}
+
+// combinableOp returns, for each message type, the reduction operator
+// that makes it combinable (opInvalid when not combinable). A type is
+// combinable when every handler that consumes it is exactly
+// `for msgs { this.prop op= msg.f0 }` with a commutative-associative op
+// and a single payload field.
+func combinableOps(p *Program) []ast.AssignOp {
+	const opInvalid = ast.AssignOp(-1)
+	ops := make([]ast.AssignOp, len(p.Msgs))
+	for i := range ops {
+		if len(p.Msgs[i].Fields) == 1 {
+			ops[i] = opUnset
+		} else {
+			ops[i] = opInvalid
+		}
+	}
+	var scan func(ss []ir.Stmt, topLevel bool)
+	scan = func(ss []ir.Stmt, topLevel bool) {
+		for _, s := range ss {
+			switch s := s.(type) {
+			case ir.ForMsgs:
+				op := handlerReduction(s)
+				if ops[s.MsgType] == opUnset {
+					ops[s.MsgType] = op
+				} else if ops[s.MsgType] != op {
+					ops[s.MsgType] = opInvalid
+				}
+			case ir.CollectInNbrs:
+				ops[s.MsgType] = opInvalid
+			case ir.If:
+				scan(s.Then, false)
+				scan(s.Else, false)
+			}
+		}
+	}
+	for _, n := range p.Nodes {
+		if n.Vertex != nil {
+			scan(n.Vertex.Body, true)
+		}
+	}
+	for i := range ops {
+		if ops[i] == opUnset {
+			ops[i] = opInvalid // never received: nothing to combine
+		}
+	}
+	return ops
+}
+
+const opUnset = ast.AssignOp(-2)
+
+// handlerReduction classifies one handler: the combinable op, or
+// invalid.
+func handlerReduction(f ir.ForMsgs) ast.AssignOp {
+	const opInvalid = ast.AssignOp(-1)
+	if len(f.Body) != 1 {
+		return opInvalid
+	}
+	sp, ok := f.Body[0].(ir.SetProp)
+	if !ok {
+		return opInvalid
+	}
+	mf, ok := sp.RHS.(ir.MsgField)
+	if !ok || mf.Idx != 0 {
+		return opInvalid
+	}
+	switch sp.Op {
+	case ast.OpAdd, ast.OpMin, ast.OpMax, ast.OpAnd, ast.OpOr:
+		return sp.Op
+	}
+	return opInvalid
+}
+
+// combinerFor builds the engine combiner for a field kind and op.
+func combinerFor(kind ir.Kind, op ast.AssignOp) pregel.Combiner {
+	return func(into *pregel.Msg, m pregel.Msg) {
+		var a, b ir.Value
+		switch kind {
+		case ir.KFloat:
+			a, b = ir.Float(into.Float(0)), ir.Float(m.Float(0))
+		case ir.KBool:
+			a, b = ir.Bool(into.Bool(0)), ir.Bool(m.Bool(0))
+		default:
+			a, b = ir.Int(into.Int(0)), ir.Int(m.Int(0))
+		}
+		r := ir.Reduce(op, a, b)
+		switch kind {
+		case ir.KFloat:
+			into.SetFloat(0, r.AsFloat())
+		case ir.KBool:
+			into.SetBool(0, r.AsBool())
+		default:
+			into.SetInt(0, r.AsInt())
+		}
+	}
+}

@@ -1,0 +1,125 @@
+package machine
+
+import (
+	"testing"
+
+	"gmpregel/internal/gm/ast"
+	"gmpregel/internal/graph"
+	"gmpregel/internal/ir"
+	"gmpregel/internal/pregel"
+)
+
+// TestCombinersPreserveResultsAndReduceTraffic uses the SSSP-style relax
+// program from TestEdgePropertyPayload: the min= handler is combinable.
+func TestCombinersPreserveResultsAndReduceTraffic(t *testing.T) {
+	p := relaxProgram()
+	// Fan-in: many vertices all relax into vertex 0.
+	b := graph.NewBuilder(20)
+	for v := graph.NodeID(1); v < 20; v++ {
+		b.AddEdge(v, 0)
+	}
+	g := b.Build()
+	dist := make([]int64, 20)
+	for v := range dist {
+		dist[v] = int64(v * 10)
+	}
+	lengths := make([]int64, g.NumEdges())
+	for e := range lengths {
+		lengths[e] = 1
+	}
+	bind := Bindings{
+		NodePropInt: map[string][]int64{"dist": dist},
+		EdgePropInt: map[string][]int64{"len": lengths},
+	}
+	plain, err := Run(p, g, bind, pregel.Config{NumWorkers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	combined, err := RunWithOptions(p, g, bind, pregel.Config{NumWorkers: 3}, RunOptions{UseCombiners: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pd, _ := plain.NodePropInt("dist_nxt")
+	cd, _ := combined.NodePropInt("dist_nxt")
+	for v := range pd {
+		if pd[v] != cd[v] {
+			t.Fatalf("dist_nxt[%d] differs: %d vs %d", v, pd[v], cd[v])
+		}
+	}
+	// 19 senders on 3 workers → at most 3 combined messages reach vertex 0.
+	if combined.Stats.MessagesSent >= plain.Stats.MessagesSent {
+		t.Errorf("combining did not reduce messages: %d vs %d",
+			combined.Stats.MessagesSent, plain.Stats.MessagesSent)
+	}
+	if combined.Stats.MessagesSent > 3 {
+		t.Errorf("expected ≤3 combined messages, got %d", combined.Stats.MessagesSent)
+	}
+}
+
+// relaxProgram duplicates the SSSP-style relax machine used in
+// machine_test.go, with the min= receive handler.
+func relaxProgram() *Program {
+	return &Program{
+		Name: "relax2",
+		Props: []PropDecl{
+			{Name: "dist", Kind: ir.KInt, IsParam: true},
+			{Name: "dist_nxt", Kind: ir.KInt},
+			{Name: "len", Kind: ir.KInt, IsEdge: true, IsParam: true},
+		},
+		Msgs: []MsgSchema{{Name: "relax", Fields: []ir.Kind{ir.KInt}}},
+		Nodes: []CFGNode{
+			{Vertex: &VertexState{
+				Name: "init",
+				Body: []ir.Stmt{
+					ir.SetProp{Slot: 1, Name: "dist_nxt", Op: 0 /* set */, RHS: ir.Const{V: ir.Int(1 << 62)}},
+				},
+				Next: 1,
+			}},
+			{Vertex: &VertexState{
+				Name: "send",
+				Body: []ir.Stmt{
+					ir.SendToNbrs{MsgType: 0, Payload: []ir.Expr{
+						ir.Binary{Op: binAdd(), L: ir.PropRef{Slot: 0, Name: "dist"}, R: ir.EdgePropRef{Slot: 2, Name: "len"}},
+					}},
+				},
+				Next: 2,
+			}},
+			{Vertex: &VertexState{
+				Name: "recv",
+				Body: []ir.Stmt{
+					ir.ForMsgs{MsgType: 0, Body: []ir.Stmt{
+						ir.SetProp{Slot: 1, Name: "dist_nxt", Op: opMin(), RHS: ir.MsgField{Idx: 0, K: ir.KInt}},
+					}},
+				},
+				Next: 3,
+			}},
+			{Master: &MasterBlock{Term: Term{Kind: THalt}}},
+		},
+	}
+}
+
+func TestCombinableOpsDetection(t *testing.T) {
+	p := relaxProgram()
+	ops := combinableOps(p)
+	if len(ops) != 1 || ops[0] != opMin() {
+		t.Errorf("ops = %v, want [min=]", ops)
+	}
+	// A two-field message is never combinable.
+	p2 := relaxProgram()
+	p2.Msgs[0].Fields = []ir.Kind{ir.KInt, ir.KInt}
+	if ops := combinableOps(p2); ops[0] >= 0 {
+		t.Errorf("two-field message marked combinable")
+	}
+	// A handler with extra statements is not combinable.
+	p3 := relaxProgram()
+	recv := p3.Nodes[2].Vertex
+	fm := recv.Body[0].(ir.ForMsgs)
+	fm.Body = append(fm.Body, ir.SetProp{Slot: 0, Name: "dist", Op: 0, RHS: ir.Const{V: ir.Int(0)}})
+	recv.Body[0] = fm
+	if ops := combinableOps(p3); ops[0] >= 0 {
+		t.Errorf("multi-statement handler marked combinable")
+	}
+}
+
+func binAdd() ast.BinOp   { return ast.BinAdd }
+func opMin() ast.AssignOp { return ast.OpMin }

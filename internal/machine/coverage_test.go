@@ -1,0 +1,182 @@
+package machine
+
+import (
+	"strings"
+	"testing"
+
+	"gmpregel/internal/gm/ast"
+	"gmpregel/internal/graph"
+	"gmpregel/internal/ir"
+	"gmpregel/internal/pregel"
+)
+
+// opsProgram exercises every property-update operator and kind through
+// both executors.
+func opsProgram() *Program {
+	set := func(slot int, name string, op ast.AssignOp, rhs ir.Expr) ir.Stmt {
+		return ir.SetProp{Slot: slot, Name: name, Op: op, RHS: rhs}
+	}
+	two := ir.Const{V: ir.Int(2)}
+	half := ir.Const{V: ir.Float(0.5)}
+	return &Program{
+		Name: "ops",
+		Props: []PropDecl{
+			{Name: "i", Kind: ir.KInt, IsParam: true},
+			{Name: "f", Kind: ir.KFloat, IsParam: true},
+			{Name: "b", Kind: ir.KBool},
+			{Name: "n", Kind: ir.KNode},
+		},
+		Nodes: []CFGNode{
+			{Vertex: &VertexState{
+				Name: "ops",
+				Body: []ir.Stmt{
+					set(0, "i", ast.OpMul, two),
+					set(0, "i", ast.OpSub, ir.Const{V: ir.Int(1)}),
+					set(0, "i", ast.OpMax, ir.Const{V: ir.Int(5)}),
+					set(1, "f", ast.OpMul, half),
+					set(1, "f", ast.OpSub, half),
+					set(1, "f", ast.OpMax, ir.Const{V: ir.Float(0.25)}),
+					set(1, "f", ast.OpMin, ir.Const{V: ir.Float(100)}),
+					set(2, "b", ast.OpSet, ir.Binary{Op: ast.BinGt, L: ir.PropRef{Slot: 0, Name: "i"}, R: two}),
+					set(2, "b", ast.OpOr, ir.Const{V: ir.Bool(false)}),
+					set(2, "b", ast.OpAnd, ir.Const{V: ir.Bool(true)}),
+					set(3, "n", ast.OpSet, ir.CurNode{}),
+					ir.SetProp{Slot: 0, Name: "i", Op: ast.OpAdd, RHS: ir.Builtin{Op: ir.BNodeId}},
+				},
+				Next: 1,
+			}},
+			{Master: &MasterBlock{
+				Stmts: []ir.Stmt{
+					ir.If{
+						Cond: ir.Binary{Op: ast.BinGt, L: ir.Builtin{Op: ir.BNumNodes}, R: ir.Const{V: ir.Int(3)}},
+						Then: []ir.Stmt{ir.Return{Value: ir.Builtin{Op: ir.BNumEdges}}},
+						Else: []ir.Stmt{ir.Return{Value: ir.Const{V: ir.Int(-1)}}},
+					},
+				},
+				Term: Term{Kind: machineTHalt()},
+			}},
+		},
+		HasReturn:  true,
+		ReturnKind: ir.KInt,
+	}
+}
+
+func machineTHalt() TermKind { return THalt }
+
+func TestEveryPropOpBothExecutors(t *testing.T) {
+	g := graph.FromEdges(5, []graph.Edge{{Src: 0, Dst: 1}})
+	b := Bindings{
+		NodePropInt:   map[string][]int64{"i": {1, 2, 3, 4, 5}},
+		NodePropFloat: map[string][]float64{"f": {1, 2, 3, 4, 5}},
+	}
+	for _, interp := range []bool{false, true} {
+		res, err := RunWithOptions(opsProgram(), g, b, pregel.Config{NumWorkers: 2}, RunOptions{Interpret: interp})
+		if err != nil {
+			t.Fatal(err)
+		}
+		iv, _ := res.NodePropInt("i")
+		fv, _ := res.NodePropFloat("f")
+		bv, _ := res.NodePropInt("b")
+		nv, _ := res.NodePropInt("n")
+		for v := 0; v < 5; v++ {
+			// i: max(v+1)*2-1, 5) + v
+			base := int64(v+1)*2 - 1
+			if base < 5 {
+				base = 5
+			}
+			if iv[v] != base+int64(v) {
+				t.Errorf("interp=%v: i[%d] = %d, want %d", interp, v, iv[v], base+int64(v))
+			}
+			// f: max(f*0.5-0.5, 0.25) then min with 100.
+			wantF := float64(v+1)*0.5 - 0.5
+			if wantF < 0.25 {
+				wantF = 0.25
+			}
+			if fv[v] != wantF {
+				t.Errorf("interp=%v: f[%d] = %v, want %v", interp, v, fv[v], wantF)
+			}
+			wantB := int64(0)
+			if iv[v]-int64(v) > 2 { // b computed before the final +=
+				wantB = 1
+			}
+			if bv[v] != wantB {
+				t.Errorf("interp=%v: b[%d] = %d, want %d", interp, v, bv[v], wantB)
+			}
+			if nv[v] != int64(v) {
+				t.Errorf("interp=%v: n[%d] = %d", interp, v, nv[v])
+			}
+		}
+		if !res.HasRet || res.Ret.AsInt() != g.NumEdges() {
+			t.Errorf("interp=%v: return = %v, want %d", interp, res.Ret, g.NumEdges())
+		}
+	}
+}
+
+func TestResultAccessorErrors(t *testing.T) {
+	g := graph.FromEdges(2, nil)
+	res, err := Run(opsProgram(), g, Bindings{}, pregel.Config{NumWorkers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := res.NodePropInt("nope"); err == nil {
+		t.Error("unknown property should error")
+	}
+	if _, err := res.NodePropFloat("i"); err == nil {
+		t.Error("kind mismatch should error")
+	}
+	if _, err := res.NodePropInt("f"); err == nil {
+		t.Error("kind mismatch should error")
+	}
+}
+
+func TestProgramListingCoversInNbrStmts(t *testing.T) {
+	p := &Program{
+		Name: "innbr",
+		Msgs: []MsgSchema{{Name: "_id", Fields: []ir.Kind{ir.KNode}}, {Name: "d", Fields: []ir.Kind{ir.KFloat}}},
+		Nodes: []CFGNode{
+			{Vertex: &VertexState{Name: "s0", Body: []ir.Stmt{
+				ir.SendToNbrs{MsgType: 0, Payload: []ir.Expr{ir.CurNode{}}},
+			}, Next: 1}},
+			{Vertex: &VertexState{Name: "s1", Body: []ir.Stmt{
+				ir.CollectInNbrs{MsgType: 0},
+				ir.SendToInNbrs{MsgType: 1, Payload: []ir.Expr{ir.Const{V: ir.Float(1)}}},
+			}, Next: 2}},
+			{Master: &MasterBlock{Term: Term{Kind: THalt}}},
+		},
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	s := p.String()
+	for _, want := range []string{"collectInNbrs", "sendToInNbrs"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("listing missing %q", want)
+		}
+	}
+	// And it runs: every vertex ends up messaging its in-neighbors.
+	g := graph.FromEdges(4, []graph.Edge{{Src: 0, Dst: 1}, {Src: 2, Dst: 1}, {Src: 1, Dst: 3}})
+	res, err := Run(p, g, Bindings{}, pregel.Config{NumWorkers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// s0 sends 3 ID messages; s1 sends one per in-edge = 3.
+	if res.Stats.MessagesSent != 6 {
+		t.Errorf("messages = %d, want 6", res.Stats.MessagesSent)
+	}
+}
+
+func TestMaxSuperstepGuardOnMachine(t *testing.T) {
+	// A while(true) over a vertex state must hit the engine's superstep
+	// cap, not hang.
+	p := &Program{
+		Name: "forever",
+		Nodes: []CFGNode{
+			{Vertex: &VertexState{Name: "spin", Next: 1}},
+			{Master: &MasterBlock{Term: Term{Kind: TGoto, Then: 0}}},
+		},
+	}
+	_, err := Run(p, graph.FromEdges(3, nil), Bindings{}, pregel.Config{NumWorkers: 1, MaxSupersteps: 25})
+	if err == nil || !strings.Contains(err.Error(), "superstep") {
+		t.Errorf("want superstep-cap error, got %v", err)
+	}
+}

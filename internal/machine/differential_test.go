@@ -1,0 +1,70 @@
+package machine
+
+import (
+	"testing"
+
+	"gmpregel/internal/graph"
+	"gmpregel/internal/graph/gen"
+	"gmpregel/internal/pregel"
+)
+
+// TestDifferentialExecutors runs hand-built programs through both the
+// closure-compiled executor and the reference tree-walking interpreter
+// and requires identical results and statistics. (The compiler-level
+// differential test over all algorithms lives in internal/core.)
+func TestDifferentialExecutors(t *testing.T) {
+	progs := []*Program{avgProgram(), nbrSumProgram(), floatNodePayloadProgram(), loopProgram(), relaxProgram()}
+	graphs := []*graph.Directed{
+		gen.Ring(12),
+		gen.Random(40, 200, 3),
+		gen.TwitterLike(60, 4, 4),
+	}
+	for _, p := range progs {
+		for gi, g := range graphs {
+			bind := Bindings{
+				Int:         map[string]int64{"K": 10},
+				NodePropInt: map[string][]int64{"age": seqInts(g.NumNodes(), 60), "cnt": seqInts(g.NumNodes(), 9), "bar": seqInts(g.NumNodes(), 100), "dist": seqInts(g.NumNodes(), 50)},
+				EdgePropInt: map[string][]int64{"len": seqInts(int(g.NumEdges()), 12)},
+			}
+			cfg := pregel.Config{NumWorkers: 3, Seed: 5}
+			fast, err := RunWithOptions(p, g, bind, cfg, RunOptions{})
+			if err != nil {
+				t.Fatalf("%s/g%d compiled: %v", p.Name, gi, err)
+			}
+			slow, err := RunWithOptions(p, g, bind, cfg, RunOptions{Interpret: true})
+			if err != nil {
+				t.Fatalf("%s/g%d interpreted: %v", p.Name, gi, err)
+			}
+			if fast.Stats.Supersteps != slow.Stats.Supersteps ||
+				fast.Stats.MessagesSent != slow.Stats.MessagesSent ||
+				fast.Stats.NetworkBytes != slow.Stats.NetworkBytes {
+				t.Errorf("%s/g%d: stats diverge: %+v vs %+v", p.Name, gi, fast.Stats, slow.Stats)
+			}
+			for pi, pd := range p.Props {
+				if pd.IsEdge {
+					continue
+				}
+				fc, sc := fast.cols[pi], slow.cols[pi]
+				for v := 0; v < g.NumNodes(); v++ {
+					if fc.i != nil && fc.i[v] != sc.i[v] {
+						t.Fatalf("%s/g%d: prop %s[%d] = %d vs %d", p.Name, gi, pd.Name, v, fc.i[v], sc.i[v])
+					}
+					if fc.f != nil && fc.f[v] != sc.f[v] {
+						t.Fatalf("%s/g%d: prop %s[%d] = %v vs %v", p.Name, gi, pd.Name, v, fc.f[v], sc.f[v])
+					}
+				}
+			}
+			if fast.HasRet != slow.HasRet || fast.Ret != slow.Ret {
+				t.Errorf("%s/g%d: return diverges: %v vs %v", p.Name, gi, fast.Ret, slow.Ret)
+			}
+		}
+	}
+}
+
+func seqInts(n int, mod int64) []int64 {
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = int64(i)%mod + 1
+	}
+	return out
+}

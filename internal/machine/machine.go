@@ -1,0 +1,294 @@
+// Package machine defines the compiled Pregel program representation the
+// Green-Marl compiler targets, and interprets it on the pregel engine.
+//
+// A Program is a control-flow graph whose nodes are either master blocks
+// (sequential code executed inside master.compute) or vertex states
+// (vertex-parallel code executed inside vertex.compute). Each superstep,
+// the master runs blocks — following Goto/CondGoto terminators — until it
+// reaches a vertex state, broadcasts that state's number and the scalars
+// the state reads (the paper's global-objects map), and lets the vertex
+// phase run; the next superstep resumes at the state's successor. This is
+// exactly the state-machine structure of the paper's generated GPS code
+// (§3.1, "State Machine Construction").
+package machine
+
+import (
+	"fmt"
+	"strings"
+
+	"gmpregel/internal/gm/ast"
+	"gmpregel/internal/ir"
+)
+
+// ScalarDecl declares a master scalar (a "global variable" of the
+// original program, or a compiler temporary).
+type ScalarDecl struct {
+	Name    string
+	Kind    ir.Kind
+	IsParam bool
+}
+
+// PropDecl declares a vertex or edge property column.
+type PropDecl struct {
+	Name    string
+	Kind    ir.Kind
+	IsEdge  bool
+	IsParam bool
+}
+
+// AggDecl declares an aggregator used to reduce vertex writes into a
+// master scalar.
+type AggDecl struct {
+	Name string
+	Kind ir.Kind
+	Op   ast.AssignOp // OpAdd/OpMin/OpMax/OpAnd/OpOr, or OpSet for any-wins
+}
+
+// MsgSchema declares one message type's payload layout.
+type MsgSchema struct {
+	Name   string
+	Fields []ir.Kind
+}
+
+// PayloadBytes is the wire size of the message payload.
+func (m MsgSchema) PayloadBytes() int {
+	n := 0
+	for _, f := range m.Fields {
+		n += f.WireSize()
+	}
+	return n
+}
+
+// TermKind is a master-block terminator kind.
+type TermKind int
+
+// Terminator kinds.
+const (
+	TGoto TermKind = iota
+	TCond
+	THalt
+)
+
+// Term transfers control between CFG nodes.
+type Term struct {
+	Kind TermKind
+	Cond ir.Expr // TCond
+	Then int     // TGoto/TCond target
+	Else int     // TCond target
+}
+
+// MasterBlock is sequential master code plus a terminator.
+type MasterBlock struct {
+	Stmts []ir.Stmt
+	Term  Term
+}
+
+// VertexState is one vertex-parallel state: its body runs once per
+// vertex in the superstep where the state is active.
+type VertexState struct {
+	Name string
+	Body []ir.Stmt
+	// Next is the CFG node where the master resumes next superstep.
+	Next int
+	// ReadScalars lists master scalar slots the body reads; they are
+	// broadcast through the global-objects map before the state runs.
+	ReadScalars []int
+	// Locals declares per-invocation temporary slots.
+	Locals []ir.Kind
+	// LocalNames aligns with Locals, for printing.
+	LocalNames []string
+}
+
+// CFGNode is either a master block or a vertex state.
+type CFGNode struct {
+	Master *MasterBlock
+	Vertex *VertexState
+}
+
+// LoopInfo records the CFG shape of one source While/Do-While loop, for
+// the intra-loop state merging optimization.
+type LoopInfo struct {
+	// Cond is the node holding the loop's condition terminator.
+	Cond int
+	// BodyStart is the first node of the loop body.
+	BodyStart int
+	// BackEdge is the node whose terminator returns to the condition
+	// (equal to Cond for do-while loops).
+	BackEdge int
+	DoWhile  bool
+}
+
+// Program is a complete compiled Pregel program.
+type Program struct {
+	Name    string
+	Scalars []ScalarDecl
+	Props   []PropDecl
+	Aggs    []AggDecl
+	Msgs    []MsgSchema
+	Nodes   []CFGNode
+	Entry   int
+	Loops   []LoopInfo
+	// HasReturn reports whether the program produces a return value.
+	HasReturn  bool
+	ReturnKind ir.Kind
+}
+
+// NumVertexStates counts the vertex-parallel kernels of the program (the
+// paper's "vertex-centric kernels").
+func (p *Program) NumVertexStates() int {
+	n := 0
+	for _, c := range p.Nodes {
+		if c.Vertex != nil {
+			n++
+		}
+	}
+	return n
+}
+
+// Validate checks CFG and slot invariants, returning the first violation.
+func (p *Program) Validate() error {
+	if p.Entry < 0 || p.Entry >= len(p.Nodes) {
+		return fmt.Errorf("machine: entry %d out of range", p.Entry)
+	}
+	inRange := func(t int) bool { return t >= 0 && t < len(p.Nodes) }
+	for i, n := range p.Nodes {
+		switch {
+		case n.Master == nil && n.Vertex == nil:
+			return fmt.Errorf("machine: node %d is empty", i)
+		case n.Master != nil && n.Vertex != nil:
+			return fmt.Errorf("machine: node %d is both master and vertex", i)
+		case n.Master != nil:
+			t := n.Master.Term
+			switch t.Kind {
+			case TGoto:
+				if !inRange(t.Then) {
+					return fmt.Errorf("machine: node %d goto target %d out of range", i, t.Then)
+				}
+			case TCond:
+				if !inRange(t.Then) || !inRange(t.Else) {
+					return fmt.Errorf("machine: node %d cond targets (%d,%d) out of range", i, t.Then, t.Else)
+				}
+				if t.Cond == nil {
+					return fmt.Errorf("machine: node %d cond terminator without condition", i)
+				}
+			case THalt:
+			default:
+				return fmt.Errorf("machine: node %d has unknown terminator %d", i, t.Kind)
+			}
+		case n.Vertex != nil:
+			if !inRange(n.Vertex.Next) {
+				return fmt.Errorf("machine: vertex state %d next %d out of range", i, n.Vertex.Next)
+			}
+			for _, s := range n.Vertex.ReadScalars {
+				if s < 0 || s >= len(p.Scalars) {
+					return fmt.Errorf("machine: vertex state %d reads bad scalar %d", i, s)
+				}
+			}
+			if err := p.validateStmts(n.Vertex.Body, n.Vertex); err != nil {
+				return fmt.Errorf("machine: vertex state %d: %v", i, err)
+			}
+		}
+	}
+	return nil
+}
+
+func (p *Program) validateStmts(ss []ir.Stmt, vs *VertexState) error {
+	for _, s := range ss {
+		switch s := s.(type) {
+		case ir.SetProp:
+			if s.Slot < 0 || s.Slot >= len(p.Props) {
+				return fmt.Errorf("bad prop slot %d", s.Slot)
+			}
+		case ir.SetLocal:
+			if s.Slot < 0 || s.Slot >= len(vs.Locals) {
+				return fmt.Errorf("bad local slot %d", s.Slot)
+			}
+		case ir.ContribAgg:
+			if s.Agg < 0 || s.Agg >= len(p.Aggs) {
+				return fmt.Errorf("bad agg slot %d", s.Agg)
+			}
+		case ir.SendToNbrs:
+			if s.MsgType < 0 || s.MsgType >= len(p.Msgs) {
+				return fmt.Errorf("bad message type %d", s.MsgType)
+			}
+		case ir.SendTo:
+			if s.MsgType < 0 || s.MsgType >= len(p.Msgs) {
+				return fmt.Errorf("bad message type %d", s.MsgType)
+			}
+		case ir.SendToInNbrs:
+			if s.MsgType < 0 || s.MsgType >= len(p.Msgs) {
+				return fmt.Errorf("bad message type %d", s.MsgType)
+			}
+		case ir.CollectInNbrs:
+			if s.MsgType < 0 || s.MsgType >= len(p.Msgs) {
+				return fmt.Errorf("bad message type %d", s.MsgType)
+			}
+		case ir.ForMsgs:
+			if s.MsgType < 0 || s.MsgType >= len(p.Msgs) {
+				return fmt.Errorf("bad message type %d", s.MsgType)
+			}
+			if err := p.validateStmts(s.Body, vs); err != nil {
+				return err
+			}
+		case ir.If:
+			if err := p.validateStmts(s.Then, vs); err != nil {
+				return err
+			}
+			if err := p.validateStmts(s.Else, vs); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// String renders a readable listing of the program (used by the CLI's
+// -dump-machine and by debugging tests).
+func (p *Program) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "program %s\n", p.Name)
+	fmt.Fprintf(&b, "  scalars:")
+	for i, s := range p.Scalars {
+		fmt.Fprintf(&b, " [%d]%s:%s", i, s.Name, s.Kind)
+	}
+	fmt.Fprintf(&b, "\n  props:")
+	for i, pr := range p.Props {
+		tag := "node"
+		if pr.IsEdge {
+			tag = "edge"
+		}
+		fmt.Fprintf(&b, " [%d]%s:%s(%s)", i, pr.Name, pr.Kind, tag)
+	}
+	fmt.Fprintf(&b, "\n  aggs:")
+	for i, a := range p.Aggs {
+		fmt.Fprintf(&b, " [%d]%s:%s %s", i, a.Name, a.Kind, a.Op)
+	}
+	fmt.Fprintf(&b, "\n  msgs:")
+	for i, m := range p.Msgs {
+		fmt.Fprintf(&b, " [%d]%s%v", i, m.Name, m.Fields)
+	}
+	fmt.Fprintf(&b, "\n  entry: node %d\n", p.Entry)
+	for i, n := range p.Nodes {
+		if n.Master != nil {
+			fmt.Fprintf(&b, "  node %d (master):\n", i)
+			for _, s := range n.Master.Stmts {
+				fmt.Fprintf(&b, "    %s\n", s)
+			}
+			switch n.Master.Term.Kind {
+			case TGoto:
+				fmt.Fprintf(&b, "    goto %d\n", n.Master.Term.Then)
+			case TCond:
+				fmt.Fprintf(&b, "    if %s goto %d else %d\n", n.Master.Term.Cond, n.Master.Term.Then, n.Master.Term.Else)
+			case THalt:
+				fmt.Fprintf(&b, "    halt\n")
+			}
+		} else {
+			v := n.Vertex
+			fmt.Fprintf(&b, "  node %d (vertex %q, next=%d, reads=%v):\n", i, v.Name, v.Next, v.ReadScalars)
+			for _, s := range v.Body {
+				fmt.Fprintf(&b, "    %s\n", s)
+			}
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,368 @@
+package machine
+
+import (
+	"math"
+	"testing"
+
+	"gmpregel/internal/gm/ast"
+	"gmpregel/internal/graph"
+	"gmpregel/internal/ir"
+	"gmpregel/internal/pregel"
+)
+
+// avgProgram hand-builds the paper's §3.1 running example:
+//
+//	Int S = 0; Int C = 0;
+//	Foreach (n: G.Nodes) { If (n.age > K) { S += n.cnt; C += 1; } }
+//	Float val = (C == 0) ? 0 : S / (float) C;
+func avgProgram() *Program {
+	p := &Program{
+		Name: "avg",
+		Scalars: []ScalarDecl{
+			{Name: "K", Kind: ir.KInt, IsParam: true},
+			{Name: "S", Kind: ir.KInt},
+			{Name: "C", Kind: ir.KInt},
+			{Name: "val", Kind: ir.KFloat},
+		},
+		Props: []PropDecl{
+			{Name: "age", Kind: ir.KInt, IsParam: true},
+			{Name: "cnt", Kind: ir.KInt, IsParam: true},
+		},
+		Aggs: []AggDecl{
+			{Name: "S", Kind: ir.KInt, Op: ast.OpAdd},
+			{Name: "C", Kind: ir.KInt, Op: ast.OpAdd},
+		},
+		HasReturn:  true,
+		ReturnKind: ir.KFloat,
+	}
+	p.Nodes = []CFGNode{
+		{Master: &MasterBlock{
+			Stmts: []ir.Stmt{
+				ir.SetScalar{Slot: 1, Name: "S", Op: ast.OpSet, RHS: ir.Const{V: ir.Int(0)}},
+				ir.SetScalar{Slot: 2, Name: "C", Op: ast.OpSet, RHS: ir.Const{V: ir.Int(0)}},
+			},
+			Term: Term{Kind: TGoto, Then: 1},
+		}},
+		{Vertex: &VertexState{
+			Name:        "state1",
+			ReadScalars: []int{0},
+			Body: []ir.Stmt{
+				ir.If{
+					Cond: ir.Binary{Op: ast.BinGt, L: ir.PropRef{Slot: 0, Name: "age"}, R: ir.ScalarRef{Slot: 0, Name: "K"}},
+					Then: []ir.Stmt{
+						ir.ContribAgg{Agg: 0, Name: "S", RHS: ir.PropRef{Slot: 1, Name: "cnt"}},
+						ir.ContribAgg{Agg: 1, Name: "C", RHS: ir.Const{V: ir.Int(1)}},
+					},
+				},
+			},
+			Next: 2,
+		}},
+		{Master: &MasterBlock{
+			Stmts: []ir.Stmt{
+				ir.FoldAgg{Scalar: 1, ScalarName: "S", Agg: 0, AggName: "S", Op: ast.OpAdd},
+				ir.FoldAgg{Scalar: 2, ScalarName: "C", Agg: 1, AggName: "C", Op: ast.OpAdd},
+				ir.SetScalar{Slot: 3, Name: "val", Op: ast.OpSet, RHS: ir.Ternary{
+					Cond: ir.Binary{Op: ast.BinEq, L: ir.ScalarRef{Slot: 2, Name: "C"}, R: ir.Const{V: ir.Int(0)}},
+					Then: ir.Const{V: ir.Float(0)},
+					Else: ir.Binary{Op: ast.BinDiv,
+						L: ir.Binary{Op: ast.BinMul, L: ir.Const{V: ir.Float(1)}, R: ir.ScalarRef{Slot: 1, Name: "S"}},
+						R: ir.ScalarRef{Slot: 2, Name: "C"}},
+				}},
+				ir.Return{Value: ir.ScalarRef{Slot: 3, Name: "val"}},
+			},
+			Term: Term{Kind: THalt},
+		}},
+	}
+	return p
+}
+
+func TestHandBuiltAvgProgram(t *testing.T) {
+	g := graph.FromEdges(5, nil)
+	res, err := Run(avgProgram(), g, Bindings{
+		Int: map[string]int64{"K": 20},
+		NodePropInt: map[string][]int64{
+			"age": {25, 10, 30, 40, 15},
+			"cnt": {4, 100, 6, 2, 100},
+		},
+	}, pregel.Config{NumWorkers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.HasRet || res.Ret.K != ir.KFloat {
+		t.Fatalf("return = %+v", res.Ret)
+	}
+	if res.Ret.F != 4.0 { // (4+6+2)/3
+		t.Errorf("avg = %v, want 4.0", res.Ret.F)
+	}
+	if res.Stats.Supersteps != 1 {
+		t.Errorf("supersteps = %d, want 1 (single vertex state)", res.Stats.Supersteps)
+	}
+}
+
+// nbrSumProgram: every vertex sends bar to all out-neighbors; receivers
+// sum into foo (the paper's Neighborhood Communication pattern).
+func nbrSumProgram() *Program {
+	return &Program{
+		Name: "nbrsum",
+		Props: []PropDecl{
+			{Name: "bar", Kind: ir.KInt, IsParam: true},
+			{Name: "foo", Kind: ir.KInt},
+		},
+		Msgs: []MsgSchema{{Name: "bar", Fields: []ir.Kind{ir.KInt}}},
+		Nodes: []CFGNode{
+			{Vertex: &VertexState{
+				Name: "send",
+				Body: []ir.Stmt{
+					ir.SendToNbrs{MsgType: 0, Payload: []ir.Expr{ir.PropRef{Slot: 0, Name: "bar"}}},
+				},
+				Next: 1,
+			}},
+			{Vertex: &VertexState{
+				Name: "recv",
+				Body: []ir.Stmt{
+					ir.ForMsgs{MsgType: 0, Body: []ir.Stmt{
+						ir.SetProp{Slot: 1, Name: "foo", Op: ast.OpAdd, RHS: ir.MsgField{Idx: 0, K: ir.KInt}},
+					}},
+				},
+				Next: 2,
+			}},
+			{Master: &MasterBlock{Term: Term{Kind: THalt}}},
+		},
+	}
+}
+
+func TestNeighborhoodCommunication(t *testing.T) {
+	// 0→1, 0→2, 1→2, 3→0
+	g := graph.FromEdges(4, []graph.Edge{
+		{Src: 0, Dst: 1}, {Src: 0, Dst: 2}, {Src: 1, Dst: 2}, {Src: 3, Dst: 0},
+	})
+	res, err := Run(nbrSumProgram(), g, Bindings{
+		NodePropInt: map[string][]int64{"bar": {10, 20, 30, 40}},
+	}, pregel.Config{NumWorkers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	foo, err := res.NodePropInt("foo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int64{40, 10, 30, 0}
+	for v, w := range want {
+		if foo[v] != w {
+			t.Errorf("foo[%d] = %d, want %d", v, foo[v], w)
+		}
+	}
+	if res.Stats.Supersteps != 2 {
+		t.Errorf("supersteps = %d, want 2", res.Stats.Supersteps)
+	}
+	if res.Stats.MessagesSent != 4 {
+		t.Errorf("messages = %d, want 4", res.Stats.MessagesSent)
+	}
+}
+
+// floatNodePayloadProgram checks float and node payload round-trips and
+// SendTo random writes: every vertex sends (id, 0.5*id) to vertex 0;
+// vertex 0 min-reduces the float and counts senders.
+func floatNodePayloadProgram() *Program {
+	return &Program{
+		Name: "payload",
+		Props: []PropDecl{
+			{Name: "minval", Kind: ir.KFloat},
+			{Name: "senders", Kind: ir.KInt},
+			{Name: "lastsender", Kind: ir.KNode},
+		},
+		Msgs: []MsgSchema{{Name: "probe", Fields: []ir.Kind{ir.KNode, ir.KFloat}}},
+		Nodes: []CFGNode{
+			{Master: &MasterBlock{Term: Term{Kind: TGoto, Then: 1}}},
+			{Vertex: &VertexState{
+				Name: "send",
+				Body: []ir.Stmt{
+					ir.SetProp{Slot: 0, Name: "minval", Op: ast.OpSet, RHS: ir.Const{V: ir.Float(math.Inf(1))}},
+					ir.SendTo{Target: ir.Const{V: ir.Node(0)}, MsgType: 0, Payload: []ir.Expr{
+						ir.CurNode{},
+						ir.Binary{Op: ast.BinMul, L: ir.Const{V: ir.Float(0.5)}, R: ir.Binary{Op: ast.BinAdd, L: ir.Const{V: ir.Int(1)}, R: ir.Const{V: ir.Int(0)}}},
+					}},
+				},
+				Next: 2,
+			}},
+			{Vertex: &VertexState{
+				Name: "recv",
+				Body: []ir.Stmt{
+					ir.ForMsgs{MsgType: 0, Body: []ir.Stmt{
+						ir.SetProp{Slot: 0, Name: "minval", Op: ast.OpMin, RHS: ir.MsgField{Idx: 1, K: ir.KFloat}},
+						ir.SetProp{Slot: 1, Name: "senders", Op: ast.OpAdd, RHS: ir.Const{V: ir.Int(1)}},
+						ir.SetProp{Slot: 2, Name: "lastsender", Op: ast.OpSet, RHS: ir.MsgField{Idx: 0, K: ir.KNode}},
+					}},
+				},
+				Next: 3,
+			}},
+			{Master: &MasterBlock{Term: Term{Kind: THalt}}},
+		},
+	}
+}
+
+func TestFloatAndNodePayloads(t *testing.T) {
+	g := graph.FromEdges(6, nil)
+	res, err := Run(floatNodePayloadProgram(), g, Bindings{}, pregel.Config{NumWorkers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	minval, _ := res.NodePropFloat("minval")
+	senders, _ := res.NodePropInt("senders")
+	last, _ := res.NodePropInt("lastsender")
+	if minval[0] != 0.5 {
+		t.Errorf("minval[0] = %v, want 0.5", minval[0])
+	}
+	if senders[0] != 6 {
+		t.Errorf("senders[0] = %d, want 6", senders[0])
+	}
+	if last[0] < 0 || last[0] > 5 {
+		t.Errorf("lastsender[0] = %d, want a valid node", last[0])
+	}
+	if senders[1] != 0 || !math.IsInf(minval[1], 1) {
+		t.Errorf("vertex 1 should have received nothing: %v %v", senders[1], minval[1])
+	}
+}
+
+// loopProgram: master-driven While loop — counts 3 iterations of an
+// empty vertex state, then halts. Exercises TCond and scalar updates.
+func loopProgram() *Program {
+	return &Program{
+		Name:    "loop",
+		Scalars: []ScalarDecl{{Name: "i", Kind: ir.KInt}},
+		Nodes: []CFGNode{
+			// 0: i = 0; goto 1
+			{Master: &MasterBlock{
+				Stmts: []ir.Stmt{ir.SetScalar{Slot: 0, Name: "i", Op: ast.OpSet, RHS: ir.Const{V: ir.Int(0)}}},
+				Term:  Term{Kind: TGoto, Then: 1},
+			}},
+			// 1: if i < 3 goto 2 (vertex) else 3 (halt)
+			{Master: &MasterBlock{
+				Term: Term{Kind: TCond,
+					Cond: ir.Binary{Op: ast.BinLt, L: ir.ScalarRef{Slot: 0, Name: "i"}, R: ir.Const{V: ir.Int(3)}},
+					Then: 2, Else: 4},
+			}},
+			// 2: empty vertex state, next = 3
+			{Vertex: &VertexState{Name: "body", Next: 3}},
+			// 3: i = i + 1; goto 1
+			{Master: &MasterBlock{
+				Stmts: []ir.Stmt{ir.SetScalar{Slot: 0, Name: "i", Op: ast.OpAdd, RHS: ir.Const{V: ir.Int(1)}}},
+				Term:  Term{Kind: TGoto, Then: 1},
+			}},
+			// 4: halt
+			{Master: &MasterBlock{Term: Term{Kind: THalt}}},
+		},
+	}
+}
+
+func TestMasterLoopControl(t *testing.T) {
+	g := graph.FromEdges(3, nil)
+	res, err := Run(loopProgram(), g, Bindings{}, pregel.Config{NumWorkers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Supersteps != 3 {
+		t.Errorf("supersteps = %d, want 3", res.Stats.Supersteps)
+	}
+}
+
+func TestValidateCatchesBadPrograms(t *testing.T) {
+	bad := []*Program{
+		{Name: "empty-node", Nodes: []CFGNode{{}}},
+		{Name: "bad-entry", Entry: 5, Nodes: []CFGNode{{Master: &MasterBlock{Term: Term{Kind: THalt}}}}},
+		{Name: "bad-goto", Nodes: []CFGNode{{Master: &MasterBlock{Term: Term{Kind: TGoto, Then: 9}}}}},
+		{Name: "bad-next", Nodes: []CFGNode{{Vertex: &VertexState{Next: 7}}}},
+		{Name: "bad-msg", Nodes: []CFGNode{
+			{Vertex: &VertexState{Next: 1, Body: []ir.Stmt{ir.SendToNbrs{MsgType: 2}}}},
+			{Master: &MasterBlock{Term: Term{Kind: THalt}}},
+		}},
+		{Name: "cond-without-cond", Nodes: []CFGNode{{Master: &MasterBlock{Term: Term{Kind: TCond, Then: 0, Else: 0}}}}},
+	}
+	for _, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("program %q: Validate should fail", p.Name)
+		}
+	}
+	if err := avgProgram().Validate(); err != nil {
+		t.Errorf("avg program should validate: %v", err)
+	}
+}
+
+func TestEdgePropertyPayload(t *testing.T) {
+	// SSSP-style relax step: every vertex sends dist+len over each edge;
+	// receivers min-reduce into dist_nxt.
+	p := &Program{
+		Name: "relax",
+		Props: []PropDecl{
+			{Name: "dist", Kind: ir.KInt, IsParam: true},
+			{Name: "dist_nxt", Kind: ir.KInt},
+			{Name: "len", Kind: ir.KInt, IsEdge: true, IsParam: true},
+		},
+		Msgs: []MsgSchema{{Name: "relax", Fields: []ir.Kind{ir.KInt}}},
+		Nodes: []CFGNode{
+			{Vertex: &VertexState{
+				Name: "init",
+				Body: []ir.Stmt{
+					ir.SetProp{Slot: 1, Name: "dist_nxt", Op: ast.OpSet, RHS: ir.Const{V: ir.Int(math.MaxInt64)}},
+				},
+				Next: 1,
+			}},
+			{Vertex: &VertexState{
+				Name: "send",
+				Body: []ir.Stmt{
+					ir.SendToNbrs{MsgType: 0, Payload: []ir.Expr{
+						ir.Binary{Op: ast.BinAdd, L: ir.PropRef{Slot: 0, Name: "dist"}, R: ir.EdgePropRef{Slot: 2, Name: "len"}},
+					}},
+				},
+				Next: 2,
+			}},
+			{Vertex: &VertexState{
+				Name: "recv",
+				Body: []ir.Stmt{
+					ir.ForMsgs{MsgType: 0, Body: []ir.Stmt{
+						ir.SetProp{Slot: 1, Name: "dist_nxt", Op: ast.OpMin, RHS: ir.MsgField{Idx: 0, K: ir.KInt}},
+					}},
+				},
+				Next: 3,
+			}},
+			{Master: &MasterBlock{Term: Term{Kind: THalt}}},
+		},
+	}
+	// Edges with weights, CSR order after sorting by dst:
+	// 0→1 (w 5), 0→2 (w 1), 2→1 (w 2)
+	g := graph.FromEdges(3, []graph.Edge{{Src: 0, Dst: 1}, {Src: 0, Dst: 2}, {Src: 2, Dst: 1}})
+	res, err := Run(p, g, Bindings{
+		NodePropInt: map[string][]int64{"dist": {0, 100, 1}},
+		EdgePropInt: map[string][]int64{"len": {5, 1, 2}},
+	}, pregel.Config{NumWorkers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nxt, _ := res.NodePropInt("dist_nxt")
+	// dist_nxt[1] = min(0+5, 1+2) = 3; dist_nxt[2] = 0+1 = 1.
+	if nxt[1] != 3 || nxt[2] != 1 {
+		t.Errorf("dist_nxt = %v, want [_, 3, 1]", nxt)
+	}
+}
+
+func TestProgramStringListsEverything(t *testing.T) {
+	s := avgProgram().String()
+	for _, sub := range []string{"program avg", "scalars", "state1", "agg.S", "halt"} {
+		if !contains(s, sub) {
+			t.Errorf("listing missing %q:\n%s", sub, s)
+		}
+	}
+}
+
+func contains(s, sub string) bool {
+	return len(s) >= len(sub) && (s == sub || len(sub) == 0 || indexOf(s, sub) >= 0)
+}
+
+func indexOf(s, sub string) int {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return i
+		}
+	}
+	return -1
+}

@@ -1,0 +1,77 @@
+package machine
+
+import (
+	"testing"
+
+	"gmpregel/internal/graph"
+	"gmpregel/internal/pregel"
+)
+
+func TestSerializeRoundTripHandBuilt(t *testing.T) {
+	for _, p := range []*Program{avgProgram(), nbrSumProgram(), floatNodePayloadProgram(), loopProgram(), relaxProgram(), opsProgram()} {
+		data, err := EncodeProgram(p)
+		if err != nil {
+			t.Fatalf("%s: encode: %v", p.Name, err)
+		}
+		p2, err := DecodeProgram(data)
+		if err != nil {
+			t.Fatalf("%s: decode: %v", p.Name, err)
+		}
+		if p.String() != p2.String() {
+			t.Errorf("%s: listing changed across round trip:\n--- original ---\n%s\n--- decoded ---\n%s",
+				p.Name, p, p2)
+		}
+	}
+}
+
+func TestSerializedProgramRunsIdentically(t *testing.T) {
+	p := relaxProgram()
+	data, err := EncodeProgram(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := DecodeProgram(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := graph.FromEdges(6, []graph.Edge{
+		{Src: 0, Dst: 1}, {Src: 1, Dst: 2}, {Src: 2, Dst: 3}, {Src: 3, Dst: 4}, {Src: 0, Dst: 5},
+	})
+	b := Bindings{
+		NodePropInt: map[string][]int64{"dist": {0, 10, 20, 30, 40, 50}},
+		EdgePropInt: map[string][]int64{"len": {1, 2, 3, 4, 5}},
+	}
+	cfg := pregel.Config{NumWorkers: 2}
+	r1, err := Run(p, g, b, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Run(p2, g, b, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d1, _ := r1.NodePropInt("dist_nxt")
+	d2, _ := r2.NodePropInt("dist_nxt")
+	for v := range d1 {
+		if d1[v] != d2[v] {
+			t.Fatalf("dist_nxt[%d] = %d vs %d after reload", v, d1[v], d2[v])
+		}
+	}
+	if r1.Stats.NetworkBytes != r2.Stats.NetworkBytes {
+		t.Error("stats differ after reload")
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	cases := [][]byte{
+		[]byte("not json"),
+		[]byte(`{"name":"x","nodes":[{}]}`), // empty node
+		[]byte(`{"name":"x","nodes":[{"master":{"term":0,"then":9}}]}`), // bad target
+		[]byte(`{"name":"x","nodes":[{"vertex":{"next":0,"body":[{"k":"bogus"}]}}]}`),
+	}
+	for i, data := range cases {
+		if _, err := DecodeProgram(data); err == nil {
+			t.Errorf("case %d: expected decode error", i)
+		}
+	}
+}

@@ -1,0 +1,174 @@
+package manual
+
+import (
+	"math"
+	"testing"
+
+	"gmpregel/internal/graph"
+	"gmpregel/internal/graph/gen"
+	"gmpregel/internal/pregel"
+	"gmpregel/internal/seq"
+)
+
+func TestManualAvgTeen(t *testing.T) {
+	g := gen.Random(70, 350, 3)
+	age := make([]int64, 70)
+	for v := range age {
+		age[v] = int64((v*11 + 3) % 65)
+	}
+	j := &AvgTeen{K: 30, Age: age, TeenCnt: make([]int64, 70)}
+	st, err := pregel.Run(g, j, pregel.Config{NumWorkers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantCnt, wantAvg := seq.AvgTeen(g, age, 30)
+	for v := range wantCnt {
+		if j.TeenCnt[v] != wantCnt[v] {
+			t.Fatalf("teen_cnt[%d] = %d, want %d", v, j.TeenCnt[v], wantCnt[v])
+		}
+	}
+	if math.Abs(j.Avg-wantAvg) > 1e-9 {
+		t.Errorf("avg = %v, want %v", j.Avg, wantAvg)
+	}
+	if st.Supersteps != 2 {
+		t.Errorf("supersteps = %d, want 2", st.Supersteps)
+	}
+}
+
+func TestManualPageRank(t *testing.T) {
+	g := gen.TwitterLike(150, 5, 4)
+	j := &PageRank{Eps: 1e-9, D: 0.85, MaxIter: 25, PR: make([]float64, 150)}
+	if _, err := pregel.Run(g, j, pregel.Config{NumWorkers: 4}); err != nil {
+		t.Fatal(err)
+	}
+	want := seq.PageRank(g, 1e-9, 0.85, 25)
+	for v := range want {
+		if math.Abs(j.PR[v]-want[v]) > 1e-9 {
+			t.Fatalf("pr[%d] = %v, want %v", v, j.PR[v], want[v])
+		}
+	}
+}
+
+func TestManualConductance(t *testing.T) {
+	g := gen.Random(90, 600, 8)
+	member := make([]int64, 90)
+	for v := range member {
+		member[v] = int64(v % 4)
+	}
+	j := &Conductance{Num: 2, Member: member}
+	st, err := pregel.Run(g, j, pregel.Config{NumWorkers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := seq.Conductance(g, member, 2)
+	if math.Abs(j.Result-want) > 1e-12 {
+		t.Errorf("conductance = %v, want %v", j.Result, want)
+	}
+	if st.Supersteps != 3 {
+		t.Errorf("supersteps = %d, want 3", st.Supersteps)
+	}
+}
+
+func TestManualConductanceZeroDenominator(t *testing.T) {
+	g := gen.Ring(6)
+	member := []int64{1, 1, 1, 1, 1, 1} // everything inside: Dout = 0
+	j := &Conductance{Num: 1, Member: member}
+	if _, err := pregel.Run(g, j, pregel.Config{NumWorkers: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if j.Result != 0 {
+		t.Errorf("no crossing edges: conductance = %v, want 0", j.Result)
+	}
+	member2 := []int64{1, 0, 0, 0, 0, 0} // inside has degree 1, outside 5
+	j2 := &Conductance{Num: 1, Member: member2}
+	if _, err := pregel.Run(g, j2, pregel.Config{NumWorkers: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if want := seq.Conductance(g, member2, 1); j2.Result != want {
+		t.Errorf("conductance = %v, want %v", j2.Result, want)
+	}
+}
+
+func TestManualSSSP(t *testing.T) {
+	g := gen.WebLike(8, 6, 2)
+	m := g.NumEdges()
+	length := make([]int64, m)
+	for e := range length {
+		length[e] = int64(1 + (e*13)%9)
+	}
+	j := &SSSP{Root: 0, Len: length, Dist: make([]int64, g.NumNodes())}
+	st, err := pregel.Run(g, j, pregel.Config{NumWorkers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := seq.SSSP(g, 0, length)
+	for v := range want {
+		if j.Dist[v] != want[v] {
+			t.Fatalf("dist[%d] = %d, want %d", v, j.Dist[v], want[v])
+		}
+	}
+	// voteToHalt must have skipped converged vertices: total compute
+	// calls should be well under supersteps × n.
+	if st.VertexCalls >= int64(st.Supersteps)*int64(g.NumNodes()) {
+		t.Errorf("voteToHalt seems ineffective: %d calls over %d supersteps × %d nodes",
+			st.VertexCalls, st.Supersteps, g.NumNodes())
+	}
+}
+
+func TestManualBipartite(t *testing.T) {
+	const boys, girls = 80, 90
+	g := gen.Bipartite(boys, girls, 3, 17)
+	isBoy := make([]bool, boys+girls)
+	for v := 0; v < boys; v++ {
+		isBoy[v] = true
+	}
+	j := &Bipartite{IsBoy: isBoy, Match: make([]graph.NodeID, boys+girls)}
+	st, err := pregel.Run(g, j, pregel.Config{NumWorkers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if msg := seq.ValidateMatching(g, isBoy, j.Match); msg != "" {
+		t.Fatalf("invalid matching: %s", msg)
+	}
+	var pairs int64
+	for v := 0; v < boys; v++ {
+		if j.Match[v] != graph.NilNode {
+			pairs++
+		}
+	}
+	if j.Count != pairs {
+		t.Errorf("count = %d, want %d", j.Count, pairs)
+	}
+	if st.ReturnedInt != pairs {
+		t.Errorf("returned %d, want %d", st.ReturnedInt, pairs)
+	}
+	greedy := seq.GreedyMatching(g, isBoy)
+	if pairs*2 < greedy.Count {
+		t.Errorf("matching size %d below half of greedy %d", pairs, greedy.Count)
+	}
+}
+
+func TestManualSSSPUnreachable(t *testing.T) {
+	// Two disconnected rings; distances in the second stay at infinity.
+	b := graph.NewBuilder(6)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	b.AddEdge(2, 0)
+	b.AddEdge(3, 4)
+	b.AddEdge(4, 5)
+	b.AddEdge(5, 3)
+	g := b.Build()
+	length := make([]int64, g.NumEdges())
+	for e := range length {
+		length[e] = 1
+	}
+	j := &SSSP{Root: 0, Len: length, Dist: make([]int64, 6)}
+	if _, err := pregel.Run(g, j, pregel.Config{NumWorkers: 2}); err != nil {
+		t.Fatal(err)
+	}
+	for v := 3; v < 6; v++ {
+		if j.Dist[v] != maxInt64 {
+			t.Errorf("dist[%d] = %d, want INF", v, j.Dist[v])
+		}
+	}
+}

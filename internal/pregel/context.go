@@ -1,0 +1,196 @@
+package pregel
+
+import (
+	"math"
+	"math/rand"
+
+	"gmpregel/internal/graph"
+)
+
+// MasterContext is the API surface of master.compute(). The master sees
+// aggregator values contributed during the previous superstep, may set
+// global objects visible to vertices in the current superstep, and may
+// halt the computation (in which case no vertex phase runs this step).
+type MasterContext struct {
+	e         *engine
+	superstep int
+}
+
+// Superstep returns the current superstep number, starting from 0.
+func (mc *MasterContext) Superstep() int { return mc.superstep }
+
+// NumNodes returns the number of vertices in the graph.
+func (mc *MasterContext) NumNodes() int { return mc.e.g.NumNodes() }
+
+// NumEdges returns the number of edges in the graph.
+func (mc *MasterContext) NumEdges() int64 { return mc.e.g.NumEdges() }
+
+// Halt terminates the computation; the current superstep's vertex phase
+// does not run.
+func (mc *MasterContext) Halt() { mc.e.halted = true }
+
+// ReturnInt records the program's integer return value, readable from
+// Stats after the run.
+func (mc *MasterContext) ReturnInt(v int64) {
+	mc.e.retSet, mc.e.retIsInt, mc.e.retInt = true, true, v
+}
+
+// ReturnFloat records the program's float return value.
+func (mc *MasterContext) ReturnFloat(v float64) {
+	mc.e.retSet, mc.e.retIsInt, mc.e.retFloat = true, false, v
+}
+
+// AggIsSet reports whether any vertex contributed to aggregator slot s
+// during the previous superstep.
+func (mc *MasterContext) AggIsSet(s int) bool { return mc.e.aggValues[s].set }
+
+// AggInt returns the merged int value of aggregator slot s (0 if unset).
+func (mc *MasterContext) AggInt(s int) int64 { return mc.e.aggValues[s].i }
+
+// AggFloat returns the merged float value of aggregator slot s.
+func (mc *MasterContext) AggFloat(s int) float64 { return mc.e.aggValues[s].f }
+
+// AggBool returns the merged bool value of aggregator slot s.
+func (mc *MasterContext) AggBool(s int) bool { return mc.e.aggValues[s].i != 0 }
+
+// ClearAgg resets aggregator slot s. Aggregators are otherwise
+// cumulative only within a superstep: worker partials are merged at the
+// barrier and replaced the next superstep, so an explicit clear is needed
+// when the master wants "unset" semantics to persist.
+func (mc *MasterContext) ClearAgg(s int) { mc.e.aggValues[s] = aggCell{} }
+
+func (mc *MasterContext) setGlobal(s int, v uint64) {
+	mc.e.globals[s] = v
+	size := 8
+	if s < len(mc.e.schema.Globals) && mc.e.schema.Globals[s].Size > 0 {
+		size = mc.e.schema.Globals[s].Size
+	}
+	mc.e.globalBytes += int64(size * (mc.e.numWorkers - 1))
+}
+
+// SetGlobalInt broadcasts an int global; vertices see it this superstep.
+func (mc *MasterContext) SetGlobalInt(s int, v int64) { mc.setGlobal(s, uint64(v)) }
+
+// SetGlobalFloat broadcasts a float global.
+func (mc *MasterContext) SetGlobalFloat(s int, v float64) { mc.setGlobal(s, math.Float64bits(v)) }
+
+// SetGlobalBool broadcasts a bool global.
+func (mc *MasterContext) SetGlobalBool(s int, v bool) {
+	if v {
+		mc.setGlobal(s, 1)
+	} else {
+		mc.setGlobal(s, 0)
+	}
+}
+
+// SetGlobalNode broadcasts a node-ID global.
+func (mc *MasterContext) SetGlobalNode(s int, v graph.NodeID) { mc.setGlobal(s, uint64(uint32(v))) }
+
+// GlobalInt reads back a global the master previously set.
+func (mc *MasterContext) GlobalInt(s int) int64 { return int64(mc.e.globals[s]) }
+
+// Rand returns the master's seeded RNG (used by G.PickRandom in
+// sequential phases).
+func (mc *MasterContext) Rand() *rand.Rand { return mc.e.masterRand }
+
+// PickRandomNode returns a uniformly random vertex.
+func (mc *MasterContext) PickRandomNode() graph.NodeID {
+	return graph.NodeID(mc.e.masterRand.Intn(mc.e.g.NumNodes()))
+}
+
+// VertexContext is the API surface of vertex.compute(). A single value is
+// reused across a worker's vertices within a superstep; do not retain it.
+type VertexContext struct {
+	wk        *worker
+	superstep int
+	id        graph.NodeID
+	local     int
+	msgs      []Msg
+}
+
+// ID returns the vertex's global ID.
+func (vc *VertexContext) ID() graph.NodeID { return vc.id }
+
+// Superstep returns the current superstep number.
+func (vc *VertexContext) Superstep() int { return vc.superstep }
+
+// NumNodes returns the number of vertices in the graph.
+func (vc *VertexContext) NumNodes() int { return vc.wk.e.g.NumNodes() }
+
+// OutDegree returns this vertex's out-degree.
+func (vc *VertexContext) OutDegree() int { return vc.wk.e.g.OutDegree(vc.id) }
+
+// OutNbrs returns this vertex's out-neighbors (do not modify).
+func (vc *VertexContext) OutNbrs() []graph.NodeID { return vc.wk.e.g.OutNbrs(vc.id) }
+
+// OutEdgeRange returns the half-open out-edge index range of this vertex,
+// for reading per-edge property arrays.
+func (vc *VertexContext) OutEdgeRange() (lo, hi int64) { return vc.wk.e.g.OutEdgeRange(vc.id) }
+
+// Messages returns the messages sent to this vertex in the previous
+// superstep, grouped deterministically (source-worker order).
+func (vc *VertexContext) Messages() []Msg { return vc.msgs }
+
+// Send sends m to dst, delivered next superstep.
+func (vc *VertexContext) Send(dst graph.NodeID, m Msg) {
+	m.Dst = dst
+	vc.wk.send(vc.id, m)
+}
+
+// SendToAllNbrs sends a copy of m to every out-neighbor.
+func (vc *VertexContext) SendToAllNbrs(m Msg) {
+	for _, d := range vc.wk.e.g.OutNbrs(vc.id) {
+		m.Dst = d
+		vc.wk.send(vc.id, m)
+	}
+}
+
+// VoteToHalt deactivates this vertex; it is reactivated when a message
+// arrives.
+func (vc *VertexContext) VoteToHalt() { vc.wk.active[vc.local] = false }
+
+// GlobalInt reads an int global broadcast by the master this superstep.
+func (vc *VertexContext) GlobalInt(s int) int64 { return int64(vc.wk.e.globals[s]) }
+
+// GlobalFloat reads a float global.
+func (vc *VertexContext) GlobalFloat(s int) float64 {
+	return math.Float64frombits(vc.wk.e.globals[s])
+}
+
+// GlobalBool reads a bool global.
+func (vc *VertexContext) GlobalBool(s int) bool { return vc.wk.e.globals[s] != 0 }
+
+// GlobalNode reads a node-ID global.
+func (vc *VertexContext) GlobalNode(s int) graph.NodeID {
+	return graph.NodeID(int32(uint32(vc.wk.e.globals[s])))
+}
+
+// AggInt contributes an int value to aggregator slot s; merged with the
+// slot's declared reduction and visible to the master next superstep.
+func (vc *VertexContext) AggInt(s int, v int64) {
+	vc.wk.aggLocal[s].merge(vc.wk.e.schema.Aggregators[s], aggCell{set: true, i: v})
+}
+
+// AggFloat contributes a float value to aggregator slot s.
+func (vc *VertexContext) AggFloat(s int, v float64) {
+	vc.wk.aggLocal[s].merge(vc.wk.e.schema.Aggregators[s], aggCell{set: true, f: v})
+}
+
+// AggBool contributes a bool value to aggregator slot s.
+func (vc *VertexContext) AggBool(s int, v bool) {
+	c := aggCell{set: true}
+	if v {
+		c.i = 1
+	}
+	vc.wk.aggLocal[s].merge(vc.wk.e.schema.Aggregators[s], c)
+}
+
+// Rand returns this worker's seeded RNG.
+func (vc *VertexContext) Rand() *rand.Rand { return vc.wk.rng }
+
+// WorkerIndex returns the index of the worker executing this vertex
+// (stable for a run; useful for per-worker scratch storage in jobs).
+func (vc *VertexContext) WorkerIndex() int { return vc.wk.index }
+
+// NumWorkers returns the number of workers in this run.
+func (vc *VertexContext) NumWorkers() int { return vc.wk.e.numWorkers }

@@ -1,0 +1,529 @@
+// Package pregel implements a GPS-like bulk-synchronous vertex-centric
+// graph processing engine: the substrate the paper's compiler targets.
+//
+// The engine reproduces the programming model of Pregel as extended by
+// GPS (Salihoglu & Widom): a master.compute() function that runs at the
+// beginning of every superstep, a vertex.compute() function invoked for
+// each active vertex, push-only messaging with delivery in the next
+// superstep, a global-objects map for master→vertex broadcast, reduction
+// aggregators for vertex→master communication, and voteToHalt().
+//
+// Vertices are hash-partitioned (id mod W) across W workers, each a
+// goroutine. Messages between vertices on different workers are accounted
+// as network I/O at their serialized wire size; master broadcast and
+// aggregator traffic is accounted separately as control I/O. Runs are
+// deterministic for a fixed configuration and seed: inboxes are grouped
+// in source-worker order and each worker's RNG is seeded from Config.Seed.
+package pregel
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"runtime"
+	"sync"
+
+	"gmpregel/internal/graph"
+)
+
+// MaxPayloadSlots is the number of 64-bit payload slots in a Msg.
+// Four slots cover every message schema the compiler generates (the most
+// complex, Betweenness Centrality's reverse sweep, needs two).
+const MaxPayloadSlots = 4
+
+// Msg is a message between vertices. Payload slots hold int64, float64
+// (bit-cast), bool, or node IDs; the schema of each Type determines how
+// many slots are live and what their wire size is.
+type Msg struct {
+	Dst  graph.NodeID
+	Type uint8
+	V    [MaxPayloadSlots]uint64
+}
+
+// SetInt stores an int64 in payload slot i.
+func (m *Msg) SetInt(i int, v int64) { m.V[i] = uint64(v) }
+
+// Int reads payload slot i as an int64.
+func (m *Msg) Int(i int) int64 { return int64(m.V[i]) }
+
+// SetFloat stores a float64 in payload slot i.
+func (m *Msg) SetFloat(i int, v float64) { m.V[i] = math.Float64bits(v) }
+
+// Float reads payload slot i as a float64.
+func (m *Msg) Float(i int) float64 { return math.Float64frombits(m.V[i]) }
+
+// SetBool stores a bool in payload slot i.
+func (m *Msg) SetBool(i int, v bool) {
+	if v {
+		m.V[i] = 1
+	} else {
+		m.V[i] = 0
+	}
+}
+
+// Bool reads payload slot i as a bool.
+func (m *Msg) Bool(i int) bool { return m.V[i] != 0 }
+
+// SetNode stores a node ID in payload slot i.
+func (m *Msg) SetNode(i int, v graph.NodeID) { m.V[i] = uint64(uint32(v)) }
+
+// Node reads payload slot i as a node ID.
+func (m *Msg) Node(i int) graph.NodeID { return graph.NodeID(int32(uint32(m.V[i]))) }
+
+// AggOp is an aggregator reduction operator.
+type AggOp uint8
+
+// Aggregator reduction operators. AggAny keeps an arbitrary (but
+// deterministic: lowest worker, last write) contributed value, mirroring
+// the effect of parallel plain writes to a global.
+const (
+	AggSum AggOp = iota
+	AggMin
+	AggMax
+	AggOr
+	AggAnd
+	AggAny
+)
+
+// AggKind is the value domain of an aggregator.
+type AggKind uint8
+
+// Aggregator value kinds; node IDs aggregate as AggKindInt.
+const (
+	AggKindInt AggKind = iota
+	AggKindFloat
+	AggKindBool
+)
+
+// AggSpec declares one aggregator slot.
+type AggSpec struct {
+	Name string
+	Kind AggKind
+	Op   AggOp
+}
+
+// GlobalSpec declares one master-broadcast global slot. Size is the wire
+// size in bytes used for control-I/O accounting.
+type GlobalSpec struct {
+	Name string
+	Size int
+}
+
+// Combiner merges a newly sent message into a pending one with the same
+// destination and type before transmission (Pregel's message combiner).
+// It must be commutative and associative over the payload.
+type Combiner func(into *Msg, m Msg)
+
+// Schema declares a job's communication shape.
+type Schema struct {
+	// MessagePayloadBytes gives the wire payload size of each message
+	// type, indexed by Msg.Type. A nil/empty slice means the job sends no
+	// messages.
+	MessagePayloadBytes []int
+	Aggregators         []AggSpec
+	Globals             []GlobalSpec
+	// Combiners optionally provides a combiner per message type (nil
+	// entries disable combining for that type). Combined messages are
+	// merged sender-side, reducing both message count and network bytes;
+	// MessagesSent reports post-combine counts.
+	Combiners []Combiner
+}
+
+// Job is a Pregel program: the pair of compute functions plus the
+// communication schema. MasterCompute runs once at the beginning of every
+// superstep (GPS's master.compute); VertexCompute runs for every vertex
+// that is active or has incoming messages.
+type Job interface {
+	MasterCompute(mc *MasterContext)
+	VertexCompute(vc *VertexContext)
+	Schema() Schema
+}
+
+// Config controls an engine run.
+type Config struct {
+	// NumWorkers is the number of simulated workers; 0 means GOMAXPROCS.
+	NumWorkers int
+	// MaxSupersteps aborts runaway jobs; 0 means 1 << 20.
+	MaxSupersteps int
+	// Seed seeds all randomness (master and per-worker RNGs).
+	Seed int64
+	// TraceSteps records per-superstep statistics in Stats.Steps.
+	TraceSteps bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.NumWorkers <= 0 {
+		c.NumWorkers = runtime.GOMAXPROCS(0)
+	}
+	if c.MaxSupersteps <= 0 {
+		c.MaxSupersteps = 1 << 20
+	}
+	return c
+}
+
+// StepStats records one superstep's traffic.
+type StepStats struct {
+	Messages     int64
+	NetworkBytes int64
+	VertexCalls  int64
+}
+
+// Stats summarizes a run. NetworkBytes counts serialized bytes of
+// messages whose endpoints live on different workers (4-byte destination
+// id, a 1-byte type tag when the job declares more than one message type,
+// then the schema payload). ControlBytes counts global broadcast and
+// aggregator traffic.
+type Stats struct {
+	Supersteps    int
+	MessagesSent  int64
+	NetworkMsgs   int64
+	NetworkBytes  int64
+	LocalBytes    int64
+	ControlBytes  int64
+	VertexCalls   int64
+	ReturnedInt   int64
+	ReturnedFloat float64
+	ReturnedIsSet bool
+	ReturnedIsInt bool
+	Steps         []StepStats
+}
+
+type aggCell struct {
+	set bool
+	i   int64
+	f   float64
+}
+
+func (c *aggCell) merge(spec AggSpec, o aggCell) {
+	if !o.set {
+		return
+	}
+	if !c.set {
+		*c = o
+		return
+	}
+	switch spec.Op {
+	case AggSum:
+		c.i += o.i
+		c.f += o.f
+	case AggMin:
+		if o.i < c.i {
+			c.i = o.i
+		}
+		if o.f < c.f {
+			c.f = o.f
+		}
+	case AggMax:
+		if o.i > c.i {
+			c.i = o.i
+		}
+		if o.f > c.f {
+			c.f = o.f
+		}
+	case AggOr:
+		if o.i != 0 {
+			c.i = 1
+		}
+	case AggAnd:
+		if o.i == 0 {
+			c.i = 0
+		}
+	case AggAny:
+		*c = o
+	}
+}
+
+// engine holds one run's state.
+type engine struct {
+	g      *graph.Directed
+	job    Job
+	cfg    Config
+	schema Schema
+
+	numWorkers int
+	msgTag     int // 1 if >1 message type, else 0
+
+	workers []*worker
+
+	globals     []uint64
+	globalBytes int64 // accumulated control bytes from SetGlobal*
+
+	aggValues []aggCell // merged values visible to master
+
+	masterRand *rand.Rand
+	halted     bool
+	retSet     bool
+	retIsInt   bool
+	retInt     int64
+	retFloat   float64
+
+	stats Stats
+}
+
+// worker owns the vertices v with v % numWorkers == index.
+type worker struct {
+	e     *engine
+	index int
+	ids   []graph.NodeID // global IDs owned, ascending
+	local map[graph.NodeID]int
+
+	active   []bool
+	inFlat   []Msg
+	inOff    []int32 // CSR offsets into inFlat, len = len(ids)+1
+	outboxes [][]Msg // per destination worker
+	// combineIdx maps (dst, type) to the pending outbox slot when the
+	// job registers combiners; rebuilt each superstep.
+	combineIdx map[uint64]combineSlot
+
+	aggLocal []aggCell
+	rng      *rand.Rand
+
+	// per-step counters (merged under the barrier)
+	msgs, netMsgs, netBytes, localBytes, calls int64
+
+	err error
+}
+
+func (e *engine) workerOf(v graph.NodeID) int { return int(v) % e.numWorkers }
+
+// Run executes the job on g to completion and returns run statistics.
+// It returns an error if the job exceeds MaxSupersteps or a compute
+// function panics.
+func Run(g *graph.Directed, job Job, cfg Config) (Stats, error) {
+	cfg = cfg.withDefaults()
+	e := &engine{g: g, job: job, cfg: cfg, schema: job.Schema()}
+	e.numWorkers = cfg.NumWorkers
+	if n := g.NumNodes(); e.numWorkers > n && n > 0 {
+		e.numWorkers = n
+	}
+	if len(e.schema.MessagePayloadBytes) > 1 {
+		e.msgTag = 1
+	}
+	e.globals = make([]uint64, len(e.schema.Globals))
+	e.aggValues = make([]aggCell, len(e.schema.Aggregators))
+	e.masterRand = rand.New(rand.NewSource(cfg.Seed))
+
+	e.workers = make([]*worker, e.numWorkers)
+	for w := 0; w < e.numWorkers; w++ {
+		wk := &worker{e: e, index: w, local: make(map[graph.NodeID]int)}
+		for v := graph.NodeID(w); int(v) < g.NumNodes(); v += graph.NodeID(e.numWorkers) {
+			wk.local[v] = len(wk.ids)
+			wk.ids = append(wk.ids, v)
+		}
+		wk.active = make([]bool, len(wk.ids))
+		for i := range wk.active {
+			wk.active[i] = true
+		}
+		wk.inOff = make([]int32, len(wk.ids)+1)
+		wk.outboxes = make([][]Msg, e.numWorkers)
+		wk.aggLocal = make([]aggCell, len(e.schema.Aggregators))
+		wk.rng = rand.New(rand.NewSource(cfg.Seed*7919 + int64(w) + 1))
+		e.workers[w] = wk
+	}
+
+	for step := 0; ; step++ {
+		if step >= cfg.MaxSupersteps {
+			return e.stats, fmt.Errorf("pregel: exceeded %d supersteps", cfg.MaxSupersteps)
+		}
+		// Master phase: sees aggregator values contributed last superstep.
+		mc := &MasterContext{e: e, superstep: step}
+		e.job.MasterCompute(mc)
+		if e.halted {
+			break
+		}
+		// Vertex phase.
+		var wg sync.WaitGroup
+		for _, wk := range e.workers {
+			wg.Add(1)
+			go func(wk *worker) {
+				defer wg.Done()
+				wk.runStep(step)
+			}(wk)
+		}
+		wg.Wait()
+		for _, wk := range e.workers {
+			if wk.err != nil {
+				return e.stats, wk.err
+			}
+		}
+		e.stats.Supersteps++
+		// Merge counters and aggregators; route messages. Aggregators
+		// are per-superstep (Pregel semantics): the master sees only the
+		// contributions of the superstep that just ran.
+		for s := range e.aggValues {
+			e.aggValues[s] = aggCell{}
+		}
+		var stepMsgs, stepNet, stepCalls int64
+		for _, wk := range e.workers {
+			stepMsgs += wk.msgs
+			stepNet += wk.netBytes
+			stepCalls += wk.calls
+			e.stats.MessagesSent += wk.msgs
+			e.stats.NetworkMsgs += wk.netMsgs
+			e.stats.NetworkBytes += wk.netBytes
+			e.stats.LocalBytes += wk.localBytes
+			e.stats.VertexCalls += wk.calls
+			wk.msgs, wk.netMsgs, wk.netBytes, wk.localBytes, wk.calls = 0, 0, 0, 0, 0
+			for s := range wk.aggLocal {
+				e.aggValues[s].merge(e.schema.Aggregators[s], wk.aggLocal[s])
+				wk.aggLocal[s] = aggCell{}
+			}
+		}
+		// Aggregator control traffic: one value per set aggregator per
+		// non-master worker.
+		for s := range e.aggValues {
+			if e.aggValues[s].set {
+				e.stats.ControlBytes += int64(8 * (e.numWorkers - 1))
+			}
+		}
+		e.stats.ControlBytes += e.globalBytes
+		e.globalBytes = 0
+		if cfg.TraceSteps {
+			e.stats.Steps = append(e.stats.Steps, StepStats{stepMsgs, stepNet, stepCalls})
+		}
+
+		anyMsgs := e.routeMessages()
+		anyActive := false
+		for _, wk := range e.workers {
+			for _, a := range wk.active {
+				if a {
+					anyActive = true
+					break
+				}
+			}
+			if anyActive {
+				break
+			}
+		}
+		if !anyMsgs && !anyActive {
+			break
+		}
+	}
+	e.stats.ReturnedIsSet = e.retSet
+	e.stats.ReturnedIsInt = e.retIsInt
+	e.stats.ReturnedInt = e.retInt
+	e.stats.ReturnedFloat = e.retFloat
+	return e.stats, nil
+}
+
+// routeMessages moves every worker's outboxes into destination workers'
+// inboxes, grouped per destination vertex in CSR form, preserving source
+// worker order for determinism. It reports whether any message is in
+// flight and reactivates message recipients.
+func (e *engine) routeMessages() bool {
+	any := false
+	var wg sync.WaitGroup
+	for _, dst := range e.workers {
+		wg.Add(1)
+		go func(dst *worker) {
+			defer wg.Done()
+			total := 0
+			for _, src := range e.workers {
+				total += len(src.outboxes[dst.index])
+			}
+			counts := make([]int32, len(dst.ids)+1)
+			for _, src := range e.workers {
+				for i := range src.outboxes[dst.index] {
+					li := int(src.outboxes[dst.index][i].Dst) / e.numWorkers
+					counts[li+1]++
+				}
+			}
+			for i := 0; i < len(dst.ids); i++ {
+				counts[i+1] += counts[i]
+			}
+			if cap(dst.inFlat) < total {
+				dst.inFlat = make([]Msg, total)
+			} else {
+				dst.inFlat = dst.inFlat[:total]
+			}
+			next := make([]int32, len(dst.ids))
+			copy(next, counts[:len(dst.ids)])
+			for _, src := range e.workers {
+				box := src.outboxes[dst.index]
+				for i := range box {
+					li := int(box[i].Dst) / e.numWorkers
+					dst.inFlat[next[li]] = box[i]
+					next[li]++
+				}
+			}
+			copy(dst.inOff, counts)
+			if total > 0 {
+				for li := 0; li < len(dst.ids); li++ {
+					if counts[li+1] > counts[li] {
+						dst.active[li] = true
+					}
+				}
+			}
+		}(dst)
+	}
+	wg.Wait()
+	for _, src := range e.workers {
+		for d := range src.outboxes {
+			if len(src.outboxes[d]) > 0 {
+				any = true
+			}
+			src.outboxes[d] = src.outboxes[d][:0]
+		}
+		src.combineIdx = nil
+	}
+	return any
+}
+
+func (wk *worker) runStep(step int) {
+	defer func() {
+		if r := recover(); r != nil {
+			wk.err = fmt.Errorf("pregel: vertex compute panicked on worker %d: %v", wk.index, r)
+		}
+	}()
+	vc := VertexContext{wk: wk, superstep: step}
+	for li, v := range wk.ids {
+		hasMsgs := wk.inOff[li+1] > wk.inOff[li]
+		if !wk.active[li] && !hasMsgs {
+			continue
+		}
+		wk.active[li] = true
+		vc.id = v
+		vc.local = li
+		vc.msgs = wk.inFlat[wk.inOff[li]:wk.inOff[li+1]]
+		wk.calls++
+		wk.e.job.VertexCompute(&vc)
+	}
+	// Consume this step's inbox.
+	wk.inFlat = wk.inFlat[:0]
+	for i := range wk.inOff {
+		wk.inOff[i] = 0
+	}
+}
+
+type combineSlot struct {
+	dw  int
+	idx int
+}
+
+func (wk *worker) send(src graph.NodeID, m Msg) {
+	dw := wk.e.workerOf(m.Dst)
+	if cs := wk.e.schema.Combiners; int(m.Type) < len(cs) && cs[m.Type] != nil {
+		key := uint64(uint32(m.Dst))<<8 | uint64(m.Type)
+		if wk.combineIdx == nil {
+			wk.combineIdx = make(map[uint64]combineSlot)
+		}
+		if slot, ok := wk.combineIdx[key]; ok {
+			cs[m.Type](&wk.outboxes[slot.dw][slot.idx], m)
+			return
+		}
+		wk.combineIdx[key] = combineSlot{dw: dw, idx: len(wk.outboxes[dw])}
+	}
+	wk.outboxes[dw] = append(wk.outboxes[dw], m)
+	wk.msgs++
+	size := int64(4 + wk.e.msgTag)
+	if int(m.Type) < len(wk.e.schema.MessagePayloadBytes) {
+		size += int64(wk.e.schema.MessagePayloadBytes[m.Type])
+	}
+	if dw != wk.index {
+		wk.netMsgs++
+		wk.netBytes += size
+	} else {
+		wk.localBytes += size
+	}
+	_ = src
+}

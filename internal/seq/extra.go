@@ -1,0 +1,120 @@
+package seq
+
+import (
+	"gmpregel/internal/graph"
+)
+
+// WCC computes weakly-connected component labels: each vertex gets the
+// smallest vertex ID in its component (treating edges as undirected).
+func WCC(g *graph.Directed) []int64 {
+	n := g.NumNodes()
+	parent := make([]int, n)
+	for v := range parent {
+		parent[v] = v
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b int) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			if ra < rb {
+				parent[rb] = ra
+			} else {
+				parent[ra] = rb
+			}
+		}
+	}
+	for v := graph.NodeID(0); int(v) < n; v++ {
+		for _, d := range g.OutNbrs(v) {
+			union(int(v), int(d))
+		}
+	}
+	// Min label per component.
+	minLabel := make([]int64, n)
+	for v := range minLabel {
+		minLabel[v] = int64(v)
+	}
+	for v := 0; v < n; v++ {
+		r := find(v)
+		if int64(v) < minLabel[r] {
+			minLabel[r] = int64(v)
+		}
+	}
+	out := make([]int64, n)
+	for v := 0; v < n; v++ {
+		out[v] = minLabel[find(v)]
+	}
+	return out
+}
+
+// HITS computes L1-normalized hubs-and-authorities scores for maxIter
+// rounds, the oracle for the extension algorithm.
+func HITS(g *graph.Directed, maxIter int) (auth, hub []float64) {
+	n := g.NumNodes()
+	auth = make([]float64, n)
+	hub = make([]float64, n)
+	for v := range auth {
+		auth[v] = 1
+		hub[v] = 1
+	}
+	for k := 0; k < maxIter; k++ {
+		// auth(v) = Σ hub(u), u → v
+		for v := range auth {
+			auth[v] = 0
+		}
+		for u := graph.NodeID(0); int(u) < n; u++ {
+			for _, v := range g.OutNbrs(u) {
+				auth[v] += hub[u]
+			}
+		}
+		normalize(auth)
+		// hub(v) = Σ auth(w), v → w
+		for v := range hub {
+			hub[v] = 0
+		}
+		for u := graph.NodeID(0); int(u) < n; u++ {
+			for _, w := range g.OutNbrs(u) {
+				hub[u] += auth[w]
+			}
+		}
+		normalize(hub)
+	}
+	return auth, hub
+}
+
+func normalize(xs []float64) {
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	if sum <= 0 {
+		return
+	}
+	for i := range xs {
+		xs[i] /= sum
+	}
+}
+
+// InDegrees returns the in-degree of every vertex and the maximum.
+func InDegrees(g *graph.Directed) ([]int64, int64) {
+	n := g.NumNodes()
+	deg := make([]int64, n)
+	for v := graph.NodeID(0); int(v) < n; v++ {
+		for _, d := range g.OutNbrs(v) {
+			deg[d]++
+		}
+	}
+	var mx int64
+	for _, d := range deg {
+		if d > mx {
+			mx = d
+		}
+	}
+	return deg, mx
+}

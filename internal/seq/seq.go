@@ -1,0 +1,279 @@
+// Package seq provides sequential shared-memory reference
+// implementations of the six paper algorithms. They are the correctness
+// oracles for both the compiler-generated and the manual Pregel
+// implementations.
+package seq
+
+import (
+	"math"
+
+	"gmpregel/internal/graph"
+)
+
+// AvgTeen computes per-node teenage-follower counts (followers of age
+// 13–19 over in-edges) and returns the average count over nodes with
+// age > k, exactly as the paper's Fig. 2 program specifies.
+func AvgTeen(g *graph.Directed, age []int64, k int64) (teenCnt []int64, avg float64) {
+	n := g.NumNodes()
+	teenCnt = make([]int64, n)
+	for v := graph.NodeID(0); int(v) < n; v++ {
+		if age[v] >= 13 && age[v] <= 19 {
+			for _, d := range g.OutNbrs(v) {
+				teenCnt[d]++
+			}
+		}
+	}
+	var s, c int64
+	for v := 0; v < n; v++ {
+		if age[v] > k {
+			s += teenCnt[v]
+			c++
+		}
+	}
+	if c == 0 {
+		return teenCnt, 0
+	}
+	return teenCnt, float64(s) / float64(c)
+}
+
+// PageRank runs damped power iteration with uniform initialization
+// 1/N, iterating until the L1 change falls to eps or maxIter rounds,
+// matching the paper's Appendix B program (dangling mass is not
+// redistributed, as in the original).
+func PageRank(g *graph.Directed, eps, d float64, maxIter int) []float64 {
+	n := g.NumNodes()
+	pr := make([]float64, n)
+	next := make([]float64, n)
+	for v := range pr {
+		pr[v] = 1 / float64(n)
+	}
+	base := (1 - d) / float64(n)
+	for iter := 0; iter < maxIter; iter++ {
+		for v := range next {
+			next[v] = 0
+		}
+		for v := graph.NodeID(0); int(v) < n; v++ {
+			if deg := g.OutDegree(v); deg > 0 {
+				share := pr[v] / float64(deg)
+				for _, w := range g.OutNbrs(v) {
+					next[w] += share
+				}
+			}
+		}
+		diff := 0.0
+		for v := range next {
+			val := base + d*next[v]
+			diff += math.Abs(val - pr[v])
+			pr[v] = val
+		}
+		if diff <= eps {
+			break
+		}
+	}
+	return pr
+}
+
+// Conductance computes the conductance of the member==num subset:
+// crossing out-edges divided by the smaller of the inside/outside degree
+// sums (paper Appendix B). It returns +Inf when the denominator is zero
+// but edges cross.
+func Conductance(g *graph.Directed, member []int64, num int64) float64 {
+	var din, dout, cross int64
+	for v := graph.NodeID(0); int(v) < g.NumNodes(); v++ {
+		deg := int64(g.OutDegree(v))
+		if member[v] == num {
+			din += deg
+			for _, t := range g.OutNbrs(v) {
+				if member[t] != num {
+					cross++
+				}
+			}
+		} else {
+			dout += deg
+		}
+	}
+	m := din
+	if dout < din {
+		m = dout
+	}
+	if m == 0 {
+		if cross == 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return float64(cross) / float64(m)
+}
+
+// Inf is the integer infinity used for unreachable distances, matching
+// the compiled programs' Int INF.
+const Inf = math.MaxInt64
+
+// SSSP computes single-source shortest path distances over out-edges
+// with non-negative integer weights (indexed by out-edge position),
+// using Dijkstra-free Bellman-Ford iteration to mirror the paper's
+// algorithm. Unreachable vertices keep distance Inf.
+func SSSP(g *graph.Directed, root graph.NodeID, length []int64) []int64 {
+	n := g.NumNodes()
+	dist := make([]int64, n)
+	for v := range dist {
+		dist[v] = Inf
+	}
+	dist[root] = 0
+	updated := make([]bool, n)
+	updated[root] = true
+	for {
+		any := false
+		nextUpdated := make([]bool, n)
+		for v := graph.NodeID(0); int(v) < n; v++ {
+			if !updated[v] || dist[v] == Inf {
+				continue
+			}
+			lo, hi := g.OutEdgeRange(v)
+			nbrs := g.OutNbrs(v)
+			for e := lo; e < hi; e++ {
+				t := nbrs[e-lo]
+				if nd := dist[v] + length[e]; nd < dist[t] {
+					dist[t] = nd
+					nextUpdated[t] = true
+					any = true
+				}
+			}
+		}
+		if !any {
+			return dist
+		}
+		updated = nextUpdated
+	}
+}
+
+// MatchingResult describes a bipartite matching.
+type MatchingResult struct {
+	Match []graph.NodeID // partner per vertex, NIL if unmatched
+	Count int64          // matched pairs
+}
+
+// ValidateMatching checks that match is a valid matching on g (mutual,
+// along edges, boys below the boundary matched to girls at/above it) and
+// maximal (no unmatched boy has an unmatched girl neighbor). It returns
+// an empty string when valid, else a description of the violation.
+func ValidateMatching(g *graph.Directed, isBoy []bool, match []graph.NodeID) string {
+	n := g.NumNodes()
+	for v := 0; v < n; v++ {
+		m := match[v]
+		if m == graph.NilNode {
+			continue
+		}
+		if int(m) < 0 || int(m) >= n {
+			return "match partner out of range"
+		}
+		if match[m] != graph.NodeID(v) {
+			return "match is not mutual"
+		}
+		if isBoy[v] == isBoy[m] {
+			return "match pairs two vertices on the same side"
+		}
+		b, gl := v, int(m)
+		if !isBoy[v] {
+			b, gl = int(m), v
+		}
+		if !g.HasEdge(graph.NodeID(b), graph.NodeID(gl)) {
+			return "match pair is not an edge"
+		}
+	}
+	for v := graph.NodeID(0); int(v) < n; v++ {
+		if !isBoy[v] || match[v] != graph.NilNode {
+			continue
+		}
+		for _, t := range g.OutNbrs(v) {
+			if match[t] == graph.NilNode {
+				return "matching is not maximal"
+			}
+		}
+	}
+	return ""
+}
+
+// GreedyMatching computes a maximal bipartite matching greedily; its
+// SIZE is a baseline for the randomized algorithm (any maximal matching
+// is at least half the maximum).
+func GreedyMatching(g *graph.Directed, isBoy []bool) MatchingResult {
+	n := g.NumNodes()
+	match := make([]graph.NodeID, n)
+	for v := range match {
+		match[v] = graph.NilNode
+	}
+	var count int64
+	for v := graph.NodeID(0); int(v) < n; v++ {
+		if !isBoy[v] || match[v] != graph.NilNode {
+			continue
+		}
+		for _, t := range g.OutNbrs(v) {
+			if match[t] == graph.NilNode {
+				match[v] = t
+				match[t] = v
+				count++
+				break
+			}
+		}
+	}
+	return MatchingResult{Match: match, Count: count}
+}
+
+// BCApprox computes approximate betweenness centrality from the given
+// source list (Brandes' accumulation restricted to those sources), the
+// oracle for the paper's Fig. 4 program. BFS follows out-edges; the
+// delta accumulation runs over the reverse BFS DAG.
+func BCApprox(g *graph.Directed, sources []graph.NodeID) []float64 {
+	n := g.NumNodes()
+	bc := make([]float64, n)
+	sigma := make([]float64, n)
+	delta := make([]float64, n)
+	lev := make([]int64, n)
+	for _, s := range sources {
+		for v := 0; v < n; v++ {
+			sigma[v] = 0
+			delta[v] = 0
+			lev[v] = -1
+		}
+		sigma[s] = 1
+		lev[s] = 0
+		frontier := []graph.NodeID{s}
+		var levels [][]graph.NodeID
+		cur := int64(0)
+		for len(frontier) > 0 {
+			levels = append(levels, frontier)
+			var next []graph.NodeID
+			for _, v := range frontier {
+				for _, w := range g.OutNbrs(v) {
+					if lev[w] == -1 {
+						lev[w] = cur + 1
+						next = append(next, w)
+					}
+				}
+			}
+			// Sigma accumulates along edges into the next level.
+			for _, v := range frontier {
+				for _, w := range g.OutNbrs(v) {
+					if lev[w] == cur+1 {
+						sigma[w] += sigma[v]
+					}
+				}
+			}
+			frontier = next
+			cur++
+		}
+		// Reverse sweep.
+		for li := len(levels) - 1; li >= 0; li-- {
+			for _, v := range levels[li] {
+				for _, w := range g.OutNbrs(v) {
+					if lev[w] == lev[v]+1 && sigma[w] != 0 {
+						delta[v] += (sigma[v] / sigma[w]) * (1 + delta[w])
+					}
+				}
+				bc[v] += delta[v]
+			}
+		}
+	}
+	return bc
+}

@@ -1,0 +1,228 @@
+package seq
+
+import (
+	"math"
+	"testing"
+
+	"gmpregel/internal/graph"
+	"gmpregel/internal/graph/gen"
+)
+
+func edges(n int, es ...[2]int32) *graph.Directed {
+	b := graph.NewBuilder(n)
+	for _, e := range es {
+		b.AddEdge(graph.NodeID(e[0]), graph.NodeID(e[1]))
+	}
+	return b.Build()
+}
+
+func TestAvgTeenHandComputed(t *testing.T) {
+	// 1(age 15, teen) → 0; 2(age 40) → 0; 3(age 16, teen) → 2.
+	g := edges(4, [2]int32{1, 0}, [2]int32{2, 0}, [2]int32{3, 2})
+	age := []int64{50, 15, 40, 16}
+	cnt, avg := AvgTeen(g, age, 30)
+	if cnt[0] != 1 || cnt[2] != 1 || cnt[1] != 0 {
+		t.Errorf("counts = %v", cnt)
+	}
+	// Over-30s: node 0 (1 teen follower) and node 2 (1) → avg 1.0.
+	if avg != 1.0 {
+		t.Errorf("avg = %v, want 1.0", avg)
+	}
+	// No one over K.
+	if _, a := AvgTeen(g, age, 100); a != 0 {
+		t.Errorf("avg over empty set = %v", a)
+	}
+}
+
+func TestPageRankSumsToRoughlyOne(t *testing.T) {
+	// Without dangling redistribution the total leaks a little per
+	// iteration but stays in (0, 1].
+	g := gen.TwitterLike(500, 6, 9)
+	pr := PageRank(g, 1e-10, 0.85, 40)
+	sum := 0.0
+	for _, x := range pr {
+		if x < 0 {
+			t.Fatal("negative rank")
+		}
+		sum += x
+	}
+	if sum <= 0.2 || sum > 1.0+1e-9 {
+		t.Errorf("total rank = %v", sum)
+	}
+}
+
+func TestPageRankUniformOnRing(t *testing.T) {
+	g := gen.Ring(10)
+	pr := PageRank(g, 1e-12, 0.85, 100)
+	for v := range pr {
+		if math.Abs(pr[v]-0.1) > 1e-9 {
+			t.Errorf("pr[%d] = %v, want 0.1", v, pr[v])
+		}
+	}
+}
+
+func TestConductanceHandComputed(t *testing.T) {
+	// Ring of 4: members {0,1}. Crossing inside→outside: edge 1→2.
+	// Din = 2, Dout = 2 → conductance 1/2.
+	g := gen.Ring(4)
+	if got := Conductance(g, []int64{1, 1, 0, 0}, 1); got != 0.5 {
+		t.Errorf("conductance = %v, want 0.5", got)
+	}
+	// All inside: 0 crossing, Dout = 0 → 0.
+	if got := Conductance(g, []int64{1, 1, 1, 1}, 1); got != 0 {
+		t.Errorf("all inside = %v, want 0", got)
+	}
+}
+
+func TestSSSPAgainstDijkstra(t *testing.T) {
+	g := gen.Random(200, 1200, 5)
+	length := make([]int64, g.NumEdges())
+	for e := range length {
+		length[e] = int64(1 + (e*31)%50)
+	}
+	got := SSSP(g, 3, length)
+	want := dijkstra(g, 3, length)
+	for v := range want {
+		if got[v] != want[v] {
+			t.Fatalf("dist[%d] = %d, dijkstra %d", v, got[v], want[v])
+		}
+	}
+}
+
+// dijkstra is an independent reference for the SSSP oracle (O(n²) scan).
+func dijkstra(g *graph.Directed, root graph.NodeID, length []int64) []int64 {
+	n := g.NumNodes()
+	dist := make([]int64, n)
+	done := make([]bool, n)
+	for v := range dist {
+		dist[v] = Inf
+	}
+	dist[root] = 0
+	for {
+		best, bestD := -1, int64(Inf)
+		for v := 0; v < n; v++ {
+			if !done[v] && dist[v] < bestD {
+				best, bestD = v, dist[v]
+			}
+		}
+		if best < 0 {
+			return dist
+		}
+		done[best] = true
+		lo, hi := g.OutEdgeRange(graph.NodeID(best))
+		nbrs := g.OutNbrs(graph.NodeID(best))
+		for e := lo; e < hi; e++ {
+			if nd := bestD + length[e]; nd < dist[nbrs[e-lo]] {
+				dist[nbrs[e-lo]] = nd
+			}
+		}
+	}
+}
+
+func TestValidateMatchingDetectsViolations(t *testing.T) {
+	g := edges(4, [2]int32{0, 2}, [2]int32{1, 3})
+	isBoy := []bool{true, true, false, false}
+	nilN := graph.NilNode
+	valid := []graph.NodeID{2, 3, 0, 1}
+	if msg := ValidateMatching(g, isBoy, valid); msg != "" {
+		t.Errorf("valid matching rejected: %s", msg)
+	}
+	cases := []struct {
+		name  string
+		match []graph.NodeID
+		want  string
+	}{
+		{"not mutual", []graph.NodeID{2, nilN, nilN, nilN}, "mutual"},
+		{"same side", []graph.NodeID{1, 0, nilN, nilN}, "same side"},
+		{"non-edge", []graph.NodeID{3, nilN, nilN, 0}, "not an edge"},
+		{"not maximal", []graph.NodeID{nilN, nilN, nilN, nilN}, "maximal"},
+	}
+	for _, tc := range cases {
+		if msg := ValidateMatching(g, isBoy, tc.match); msg == "" || !contains(msg, tc.want) {
+			t.Errorf("%s: got %q, want substring %q", tc.name, msg, tc.want)
+		}
+	}
+}
+
+func contains(s, sub string) bool {
+	return len(sub) == 0 || (len(s) >= len(sub) && index(s, sub) >= 0)
+}
+
+func index(s, sub string) int {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return i
+		}
+	}
+	return -1
+}
+
+func TestGreedyMatchingIsMaximal(t *testing.T) {
+	g := gen.Bipartite(60, 70, 3, 11)
+	isBoy := make([]bool, 130)
+	for v := 0; v < 60; v++ {
+		isBoy[v] = true
+	}
+	res := GreedyMatching(g, isBoy)
+	if msg := ValidateMatching(g, isBoy, res.Match); msg != "" {
+		t.Errorf("greedy matching invalid: %s", msg)
+	}
+}
+
+func TestBCOnPath(t *testing.T) {
+	// Path 0→1→2→3 from source 0: sigma all 1.
+	// delta[2]=1, delta[1]=2, delta[0]=3; bc[v] += delta[v].
+	g := edges(4, [2]int32{0, 1}, [2]int32{1, 2}, [2]int32{2, 3})
+	bc := BCApprox(g, []graph.NodeID{0})
+	want := []float64{3, 2, 1, 0}
+	for v := range want {
+		if math.Abs(bc[v]-want[v]) > 1e-12 {
+			t.Errorf("bc[%d] = %v, want %v", v, bc[v], want[v])
+		}
+	}
+}
+
+func TestBCOnDiamond(t *testing.T) {
+	// Diamond 0→{1,2}→3: sigma[3] = 2, delta[1] = delta[2] = 0.5,
+	// delta[0] = 2 (1+0.5 each via two children... computed by Brandes).
+	g := edges(4, [2]int32{0, 1}, [2]int32{0, 2}, [2]int32{1, 3}, [2]int32{2, 3})
+	bc := BCApprox(g, []graph.NodeID{0})
+	if math.Abs(bc[1]-0.5) > 1e-12 || math.Abs(bc[2]-0.5) > 1e-12 {
+		t.Errorf("bc = %v, want mid nodes at 0.5", bc)
+	}
+	if math.Abs(bc[3]) > 1e-12 {
+		t.Errorf("sink bc = %v, want 0", bc[3])
+	}
+}
+
+func TestWCCOracle(t *testing.T) {
+	g := edges(6, [2]int32{0, 1}, [2]int32{2, 1}, [2]int32{4, 5})
+	comp := WCC(g)
+	want := []int64{0, 0, 0, 3, 4, 4}
+	for v := range want {
+		if comp[v] != want[v] {
+			t.Errorf("comp[%d] = %d, want %d", v, comp[v], want[v])
+		}
+	}
+}
+
+func TestHITSOracleNormalizes(t *testing.T) {
+	g := gen.TwitterLike(100, 4, 3)
+	auth, hub := HITS(g, 10)
+	var sa, sh float64
+	for v := range auth {
+		sa += auth[v]
+		sh += hub[v]
+	}
+	if math.Abs(sa-1) > 1e-9 || math.Abs(sh-1) > 1e-9 {
+		t.Errorf("norms = %v, %v, want 1", sa, sh)
+	}
+}
+
+func TestInDegreesOracle(t *testing.T) {
+	g := edges(4, [2]int32{0, 1}, [2]int32{2, 1}, [2]int32{3, 1}, [2]int32{1, 0})
+	deg, mx := InDegrees(g)
+	if deg[1] != 3 || deg[0] != 1 || mx != 3 {
+		t.Errorf("deg = %v, max = %d", deg, mx)
+	}
+}

@@ -1,0 +1,42 @@
+package gmpregel_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"gmpregel"
+	"gmpregel/internal/algorithms"
+)
+
+// TestTestdataFilesInSyncAndCompile checks that every .gm file under
+// testdata matches its embedded source and compiles through the public
+// API (run with -write-testdata support via TESTDATA_WRITE=1 to
+// regenerate the files).
+func TestTestdataFilesInSyncAndCompile(t *testing.T) {
+	all := map[string]string{}
+	for k, v := range algorithms.ByName {
+		all[k] = v
+	}
+	for k, v := range algorithms.ExtraByName {
+		all[k] = v
+	}
+	for name, src := range all {
+		path := filepath.Join("testdata", name+".gm")
+		if os.Getenv("TESTDATA_WRITE") == "1" {
+			if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("%s: %v (regenerate with TESTDATA_WRITE=1 go test -run TestTestdata .)", path, err)
+		}
+		if string(data) != src {
+			t.Errorf("%s out of sync with the embedded source", path)
+		}
+		if _, err := gmpregel.CompileFile(path, gmpregel.Options{}); err != nil {
+			t.Errorf("%s does not compile: %v", path, err)
+		}
+	}
+}
