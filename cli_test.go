@@ -1,6 +1,7 @@
 package gmpregel_test
 
 import (
+	"encoding/json"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -67,6 +68,40 @@ func TestCLITools(t *testing.T) {
 	os.WriteFile(badPath, []byte("Procedure broken("), 0o644)
 	if err := exec.Command(gmpc, badPath).Run(); err == nil {
 		t.Error("gmpc should exit nonzero on a parse error")
+	}
+
+	// -analyze on a warning-free builtin exits 0.
+	out = run(gmpc, "-builtin", "avgteen", "-analyze")
+	if strings.Contains(out, "warning") || strings.Contains(out, "error") {
+		t.Errorf("avgteen should analyze warning-free:\n%s", out)
+	}
+
+	// -Werror turns pagerank's hazard warnings into a nonzero exit,
+	// both under -analyze and during a normal compile.
+	if b, err := exec.Command(gmpc, "-builtin", "pagerank", "-analyze", "-Werror").CombinedOutput(); err == nil {
+		t.Errorf("-analyze -Werror should exit nonzero on pagerank:\n%s", b)
+	} else if !strings.Contains(string(b), "GM2002") {
+		t.Errorf("-analyze -Werror output missing GM2002:\n%s", b)
+	}
+	if b, err := exec.Command(gmpc, "-builtin", "pagerank", "-Werror").CombinedOutput(); err == nil {
+		t.Errorf("compile with -Werror should exit nonzero on pagerank:\n%s", b)
+	}
+
+	// -diag-format=json emits machine-readable diagnostics.
+	out = run(gmpc, "-builtin", "sssp", "-analyze", "-diag-format=json")
+	var report struct {
+		Diagnostics []struct {
+			Code     string `json:"code"`
+			Severity string `json:"severity"`
+			Line     int    `json:"line"`
+		} `json:"diagnostics"`
+		WarningFree bool `json:"warning_free"`
+	}
+	if err := json.Unmarshal([]byte(out), &report); err != nil {
+		t.Fatalf("-diag-format=json output does not parse: %v\n%s", err, out)
+	}
+	if !report.WarningFree || len(report.Diagnostics) == 0 {
+		t.Errorf("sssp JSON report unexpected: %+v", report)
 	}
 
 	// graphgen → file → gmbench table.

@@ -9,6 +9,12 @@
 // (state-machine listing), -canonical (Pregel-canonical Green-Marl),
 // -trace (applied transformations). With -run, the program is executed
 // on a generated graph and its statistics printed.
+//
+// Static analysis: -analyze runs the diagnostics pass only and prints
+// the findings (-diag-format=text|json selects the rendering), exiting
+// nonzero if any errors — or, with -Werror, any warnings — were found.
+// Without -analyze, -Werror makes a normal compile fail when the
+// analyzer reported warnings.
 package main
 
 import (
@@ -32,6 +38,9 @@ func main() {
 		trace      = flag.Bool("trace", true, "print the applied-transformation checklist")
 		noOpt      = flag.Bool("no-opt", false, "disable state merging and intra-loop merging")
 		emit       = flag.String("emit", "", "write the compiled program as a JSON artifact to this file")
+		analyze    = flag.Bool("analyze", false, "run static analysis only and print diagnostics (no compile output)")
+		diagFormat = flag.String("diag-format", "text", "diagnostic rendering for -analyze: text or json")
+		werror     = flag.Bool("Werror", false, "treat analysis warnings as errors (nonzero exit)")
 		run        = flag.Bool("run", false, "run the program on a generated twitter-like graph")
 		runNodes   = flag.Int("run-nodes", 10000, "graph size for -run")
 		workers    = flag.Int("workers", 4, "engine workers for -run")
@@ -58,6 +67,11 @@ func main() {
 		os.Exit(2)
 	}
 
+	if *analyze {
+		analyzeOnly(src, *diagFormat, *werror)
+		return
+	}
+
 	opts := gmpregel.Options{}
 	if *noOpt {
 		opts.DisableStateMerging = true
@@ -66,6 +80,10 @@ func main() {
 	prog, err := gmpregel.Compile(src, opts)
 	if err != nil {
 		fatalf("compile: %v", err)
+	}
+	if *werror && prog.Diagnostics().HasWarnings() {
+		fmt.Fprint(os.Stderr, prog.Diagnostics().Text())
+		fatalf("-Werror: analysis reported warnings")
 	}
 	fmt.Printf("compiled %s: %d vertex-centric kernels, %d message types\n",
 		prog.Name(), prog.NumVertexStates(), prog.NumMessageTypes())
@@ -104,6 +122,27 @@ func main() {
 	}
 	if *run {
 		runIt(prog, *builtin, *runNodes, *workers)
+	}
+}
+
+// analyzeOnly runs the diagnostics pass and exits: 0 when clean, 1 when
+// the findings include errors (or warnings under -Werror).
+func analyzeOnly(src, format string, werror bool) {
+	diags := gmpregel.Diagnose(src)
+	switch format {
+	case "text":
+		fmt.Print(diags.Text())
+	case "json":
+		data, err := diags.JSON()
+		if err != nil {
+			fatalf("analyze: %v", err)
+		}
+		fmt.Println(string(data))
+	default:
+		fatalf("unknown -diag-format %q (want text or json)", format)
+	}
+	if diags.HasErrors() || (werror && diags.HasWarnings()) {
+		os.Exit(1)
 	}
 }
 

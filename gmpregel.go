@@ -31,6 +31,7 @@ import (
 
 	"gmpregel/internal/codegen"
 	"gmpregel/internal/core"
+	"gmpregel/internal/gm/analysis"
 	"gmpregel/internal/graph"
 	"gmpregel/internal/graph/gen"
 	"gmpregel/internal/machine"
@@ -53,6 +54,13 @@ type Config = pregel.Config
 
 // Stats summarizes a run: supersteps, messages, network/control bytes.
 type Stats = pregel.Stats
+
+// Diagnostic is one static-analysis finding (code, severity, position,
+// message, optional fix hint).
+type Diagnostic = analysis.Diagnostic
+
+// Diagnostics is an ordered list of analysis findings.
+type Diagnostics = analysis.List
 
 // Graph is a directed graph in CSR form.
 type Graph = graph.Directed
@@ -89,8 +97,22 @@ func CompileFile(path string, opts Options) (*Compiled, error) {
 	return Compile(string(src), opts)
 }
 
+// Diagnose runs the parser, the semantic checker, and all static
+// analyses over src without compiling it, returning every finding. It
+// never returns an error: failures become diagnostics.
+func Diagnose(src string) Diagnostics { return analysis.Diagnose(src) }
+
+// DecodeDiagnostics parses the JSON produced by Diagnostics.JSON (and
+// by gmpc -analyze -diag-format=json).
+func DecodeDiagnostics(data []byte) (Diagnostics, error) { return analysis.DecodeJSON(data) }
+
 // Name returns the procedure name.
 func (p *Compiled) Name() string { return p.c.Program.Name }
+
+// Diagnostics returns the static-analysis findings recorded while
+// compiling. Empty for programs loaded from artifacts (the artifact
+// keeps only the summary counts; see StateMachine's analysis block).
+func (p *Compiled) Diagnostics() Diagnostics { return p.c.Diagnostics }
 
 // Run executes the compiled program on g.
 func (p *Compiled) Run(g *Graph, b Bindings, cfg Config) (*Result, error) {

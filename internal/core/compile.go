@@ -1,6 +1,7 @@
 package core
 
 import (
+	"gmpregel/internal/gm/analysis"
 	"gmpregel/internal/gm/ast"
 	"gmpregel/internal/gm/parser"
 	"gmpregel/internal/gm/sema"
@@ -31,6 +32,9 @@ type Compiled struct {
 	Program *machine.Program
 	// Trace records the applied rules (Table 3).
 	Trace *Trace
+	// Diagnostics are the static-analysis findings for the original
+	// (pre-transformation) procedure.
+	Diagnostics analysis.List
 }
 
 // Compile parses and compiles a single Green-Marl procedure into a
@@ -51,9 +55,13 @@ func Compile(src string, opts Options) (*Compiled, error) {
 // CompileProcedure compiles an already-parsed procedure. The input tree
 // is not modified.
 func CompileProcedure(proc *ast.Procedure, opts Options) (*Compiled, error) {
-	if _, err := sema.Check(proc); err != nil {
+	info0, err := sema.Check(proc)
+	if err != nil {
 		return nil, err
 	}
+	// The analyses run on the original tree, so diagnostics point at
+	// source the user wrote rather than at lowered forms.
+	diags := analysis.AnalyzeProcedure(proc, info0)
 	original := proc
 	work := proc.Clone()
 	trace := &Trace{}
@@ -87,12 +95,21 @@ func CompileProcedure(proc *ast.Procedure, opts Options) (*Compiled, error) {
 	if err := prog.Validate(); err != nil {
 		return nil, errf("internal: optimized program invalid: %v", err)
 	}
+	errs, warns, infos := diags.Counts()
+	prog.Analysis = &machine.AnalysisSummary{
+		Errors:      errs,
+		Warnings:    warns,
+		Infos:       infos,
+		Codes:       diags.Codes(),
+		WarningFree: errs == 0 && warns == 0,
+	}
 	return &Compiled{
-		Original:  original,
-		Canonical: work,
-		Info:      info,
-		Program:   prog,
-		Trace:     trace,
+		Original:    original,
+		Canonical:   work,
+		Info:        info,
+		Program:     prog,
+		Trace:       trace,
+		Diagnostics: diags,
 	}, nil
 }
 

@@ -1,0 +1,102 @@
+package analysis
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"gmpregel/internal/gm/token"
+)
+
+func TestSeverityNames(t *testing.T) {
+	for sev, name := range map[Severity]string{
+		SevInfo: "info", SevWarning: "warning", SevError: "error",
+	} {
+		if sev.String() != name {
+			t.Errorf("%d.String() = %q, want %q", sev, sev.String(), name)
+		}
+		back, err := ParseSeverity(name)
+		if err != nil || back != sev {
+			t.Errorf("ParseSeverity(%q) = %v, %v", name, back, err)
+		}
+	}
+	if _, err := ParseSeverity("fatal"); err == nil {
+		t.Error("ParseSeverity should reject unknown names")
+	}
+}
+
+func TestDiagnosticString(t *testing.T) {
+	d := Diagnostic{
+		Code: CodeWriteConflict, Severity: SevWarning,
+		Pos: token.Pos{Line: 7, Col: 13}, Msg: "racy write",
+	}
+	if got := d.String(); got != "7:13: warning GM2001: racy write" {
+		t.Errorf("String() = %q", got)
+	}
+	d.Pos = token.Pos{}
+	if got := d.String(); !strings.HasPrefix(got, "-: ") {
+		t.Errorf("invalid position should render as -: got %q", got)
+	}
+}
+
+func TestDiagnosticJSONRoundTrip(t *testing.T) {
+	d := Diagnostic{
+		Code: CodeCrossStepHazard, Severity: SevWarning,
+		Pos: token.Pos{Line: 3, Col: 9}, Msg: "m", Hint: "h",
+	}
+	data, err := json.Marshal(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Diagnostic
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back != d {
+		t.Errorf("round trip drifted: %+v vs %+v", back, d)
+	}
+}
+
+func TestListSortCountsAndText(t *testing.T) {
+	l := List{
+		{Code: CodePayload, Severity: SevInfo, Pos: token.Pos{Line: 9, Col: 1}, Msg: "c"},
+		{Code: CodeSema, Severity: SevError, Pos: token.Pos{Line: 2, Col: 5}, Msg: "a"},
+		{Code: CodeCrossStepHazard, Severity: SevWarning, Pos: token.Pos{Line: 2, Col: 5}, Msg: "b", Hint: "fix it"},
+	}
+	l.Sort()
+	if l[0].Code != CodeSema || l[1].Code != CodeCrossStepHazard || l[2].Code != CodePayload {
+		t.Errorf("sort order wrong: %v", l.Codes())
+	}
+	e, w, i := l.Counts()
+	if e != 1 || w != 1 || i != 1 {
+		t.Errorf("Counts() = %d,%d,%d", e, w, i)
+	}
+	if !l.HasErrors() || !l.HasWarnings() {
+		t.Error("HasErrors/HasWarnings should be true")
+	}
+	text := l.Text()
+	if !strings.Contains(text, "hint: fix it") || strings.Count(text, "\n") != 4 {
+		t.Errorf("Text() rendering unexpected:\n%s", text)
+	}
+}
+
+func TestReportEnvelope(t *testing.T) {
+	data, err := List(nil).JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"diagnostics": []`) {
+		t.Errorf("empty list should render diagnostics as [], got %s", data)
+	}
+	back, err := DecodeJSON(data)
+	if err != nil || len(back) != 0 {
+		t.Errorf("DecodeJSON(empty) = %v, %v", back, err)
+	}
+	var r Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		t.Fatal(err)
+	}
+	if !r.WarningFree {
+		t.Error("empty report should be warning-free")
+	}
+}

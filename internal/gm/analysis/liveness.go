@@ -1,0 +1,96 @@
+package analysis
+
+import (
+	"gmpregel/internal/gm/ast"
+	"gmpregel/internal/gm/sema"
+)
+
+// Analysis 3: unused properties and dead writes. A property column costs
+// memory on every vertex (and an artifact slot), so a declared-but-
+// unused or written-but-never-read property is always worth flagging.
+// Reduction assignments (`+=`, `min=`, ...) read the old value, so they
+// count as both a read and a write. Output parameters — param properties
+// the caller observes after the run — are exempt from the dead-write
+// rule.
+func (a *analyzer) liveness() {
+	read := map[*sema.Symbol]bool{}
+	written := map[*sema.Symbol]bool{}
+
+	var scanStmt func(s ast.Stmt)
+	scanExpr := func(e ast.Expr) {
+		ast.WalkExpr(e, func(x ast.Expr) bool {
+			if pa, ok := x.(*ast.PropAccess); ok {
+				if sym := a.propByName[pa.Prop]; sym != nil {
+					read[sym] = true
+				}
+			}
+			return true
+		})
+	}
+	scanStmt = func(s ast.Stmt) {
+		switch s := s.(type) {
+		case *ast.Block:
+			for _, c := range s.Stmts {
+				scanStmt(c)
+			}
+		case *ast.VarDecl:
+			if s.Init != nil {
+				scanExpr(s.Init)
+			}
+		case *ast.Assign:
+			if pa, ok := s.LHS.(*ast.PropAccess); ok {
+				if sym := a.propByName[pa.Prop]; sym != nil {
+					written[sym] = true
+					if s.Op.IsReduction() {
+						read[sym] = true
+					}
+				}
+				// The LHS target itself (the vertex expression) is read.
+				scanExpr(pa.Target)
+			}
+			scanExpr(s.RHS)
+		case *ast.If:
+			scanExpr(s.Cond)
+			scanStmt(s.Then)
+			if s.Else != nil {
+				scanStmt(s.Else)
+			}
+		case *ast.While:
+			scanExpr(s.Cond)
+			scanStmt(s.Body)
+		case *ast.Foreach:
+			if s.Filter != nil {
+				scanExpr(s.Filter)
+			}
+			scanStmt(s.Body)
+		case *ast.InBFS:
+			scanExpr(s.Root)
+			if s.Filter != nil {
+				scanExpr(s.Filter)
+			}
+			scanStmt(s.Body)
+			if s.ReverseBody != nil {
+				scanStmt(s.ReverseBody)
+			}
+		case *ast.Return:
+			if s.Value != nil {
+				scanExpr(s.Value)
+			}
+		}
+	}
+	scanStmt(a.proc.Body)
+
+	for _, p := range a.info.Props {
+		pos := a.declPos[p]
+		switch {
+		case !read[p] && !written[p]:
+			a.addHint(CodeUnusedProp, SevWarning, pos,
+				"remove the declaration (every declared property allocates a column on all vertices)",
+				"property %q is declared but never used", p.Name)
+		case !read[p] && !p.IsParam:
+			a.addHint(CodeDeadWrite, SevWarning, pos,
+				"remove the property and its writes, or return the value through a parameter property",
+				"local property %q is written but never read; the writes are dead", p.Name)
+		}
+	}
+}

@@ -11,6 +11,7 @@ package sema
 
 import (
 	"fmt"
+	"strings"
 
 	"gmpregel/internal/gm/ast"
 	"gmpregel/internal/gm/token"
@@ -116,9 +117,23 @@ type Error struct {
 
 func (e *Error) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
 
+// ErrorList is every semantic error found in one Check pass, in source
+// order. It implements error by joining the messages, one per line, so
+// callers that match on substrings keep working while diagnostic-aware
+// callers can type-assert and report each error individually.
+type ErrorList []*Error
+
+func (l ErrorList) Error() string {
+	msgs := make([]string, len(l))
+	for i, e := range l {
+		msgs[i] = e.Error()
+	}
+	return strings.Join(msgs, "\n")
+}
+
 type checker struct {
 	info *Info
-	errs []error
+	errs ErrorList
 
 	scopes []map[string]*Symbol
 	// parallelDepth > 0 while inside a vertex-parallel construct.
@@ -128,8 +143,11 @@ type checker struct {
 	bulkGraphAsNode bool
 }
 
-// Check analyzes proc and returns the resolved Info. All detected
-// errors are returned; Info is valid only when err is nil.
+// Check analyzes proc and returns the resolved Info. The checker does
+// not stop at the first problem: it keeps going and returns every
+// detected error as an ErrorList. On error the returned Info holds
+// whatever was resolved before/around the failures (useful for
+// diagnostics); it is only guaranteed complete when err is nil.
 func Check(proc *ast.Procedure) (*Info, error) {
 	c := &checker{info: &Info{
 		Proc:   proc,
@@ -140,12 +158,10 @@ func Check(proc *ast.Procedure) (*Info, error) {
 	}}
 	c.push()
 	c.params(proc)
-	if len(c.errs) == 0 {
-		c.block(proc.Body)
-	}
+	c.block(proc.Body)
 	c.pop()
 	if len(c.errs) > 0 {
-		return nil, c.errs[0]
+		return c.info, c.errs
 	}
 	return c.info, nil
 }

@@ -276,3 +276,38 @@ func TestSemaIdBuiltin(t *testing.T) {
 		Foreach (n: G.Nodes) { n.x = n.Id(); }
 	}`)
 }
+
+// TestMultipleErrorsOneRun checks that Check accumulates every error in
+// a single pass instead of stopping at the first one.
+func TestMultipleErrorsOneRun(t *testing.T) {
+	_, err := check(t, `Procedure f(G: Graph, val: Node_Prop<Int>) {
+		Int x = undeclared1;
+		y = 3;
+		Foreach (n: G.Nodes) {
+			n.missing = 2;
+		}
+	}`)
+	if err == nil {
+		t.Fatal("expected errors")
+	}
+	list, ok := err.(ErrorList)
+	if !ok {
+		t.Fatalf("error is %T, want ErrorList", err)
+	}
+	if len(list) < 3 {
+		t.Fatalf("want >=3 errors in one run, got %d: %v", len(list), err)
+	}
+	for _, sub := range []string{"undeclared1", "undefined: y", "missing"} {
+		if !strings.Contains(err.Error(), sub) {
+			t.Errorf("combined error %q missing %q", err, sub)
+		}
+	}
+	// Distinct positions: each error points at its own source line.
+	lines := map[int]bool{}
+	for _, e := range list {
+		lines[e.Pos.Line] = true
+	}
+	if len(lines) < 3 {
+		t.Errorf("errors collapse onto %d lines: %v", len(lines), err)
+	}
+}

@@ -131,6 +131,20 @@ type Program struct {
 	// HasReturn reports whether the program produces a return value.
 	HasReturn  bool
 	ReturnKind ir.Kind
+	// Analysis is the front end's static-analysis verdict (nil for
+	// hand-built programs); it rides along in the JSON artifact so
+	// downstream tooling can report which programs compiled clean.
+	Analysis *AnalysisSummary
+}
+
+// AnalysisSummary condenses the diagnostics the static analyzer emitted
+// for the source procedure: severity totals and the distinct codes seen.
+type AnalysisSummary struct {
+	Errors      int      `json:"errors"`
+	Warnings    int      `json:"warnings"`
+	Infos       int      `json:"infos"`
+	Codes       []string `json:"codes,omitempty"`
+	WarningFree bool     `json:"warning_free"`
 }
 
 // NumVertexStates counts the vertex-parallel kernels of the program (the

@@ -15,16 +15,17 @@ import (
 // Statements and expressions serialize as tagged envelopes.
 
 type jsonProgram struct {
-	Name       string       `json:"name"`
-	Scalars    []ScalarDecl `json:"scalars,omitempty"`
-	Props      []PropDecl   `json:"props,omitempty"`
-	Aggs       []jsonAgg    `json:"aggs,omitempty"`
-	Msgs       []MsgSchema  `json:"msgs,omitempty"`
-	Nodes      []jsonNode   `json:"nodes"`
-	Entry      int          `json:"entry"`
-	Loops      []LoopInfo   `json:"loops,omitempty"`
-	HasReturn  bool         `json:"has_return,omitempty"`
-	ReturnKind ir.Kind      `json:"return_kind,omitempty"`
+	Name       string           `json:"name"`
+	Scalars    []ScalarDecl     `json:"scalars,omitempty"`
+	Props      []PropDecl       `json:"props,omitempty"`
+	Aggs       []jsonAgg        `json:"aggs,omitempty"`
+	Msgs       []MsgSchema      `json:"msgs,omitempty"`
+	Nodes      []jsonNode       `json:"nodes"`
+	Entry      int              `json:"entry"`
+	Loops      []LoopInfo       `json:"loops,omitempty"`
+	HasReturn  bool             `json:"has_return,omitempty"`
+	ReturnKind ir.Kind          `json:"return_kind,omitempty"`
+	Analysis   *AnalysisSummary `json:"analysis,omitempty"`
 }
 
 type jsonAgg struct {
@@ -91,6 +92,7 @@ func EncodeProgram(p *Program) ([]byte, error) {
 	jp := jsonProgram{
 		Name: p.Name, Scalars: p.Scalars, Props: p.Props, Msgs: p.Msgs,
 		Entry: p.Entry, Loops: p.Loops, HasReturn: p.HasReturn, ReturnKind: p.ReturnKind,
+		Analysis: p.Analysis,
 	}
 	for _, a := range p.Aggs {
 		jp.Aggs = append(jp.Aggs, jsonAgg{Name: a.Name, Kind: a.Kind, Op: a.Op})
@@ -125,6 +127,7 @@ func DecodeProgram(data []byte) (*Program, error) {
 	p := &Program{
 		Name: jp.Name, Scalars: jp.Scalars, Props: jp.Props, Msgs: jp.Msgs,
 		Entry: jp.Entry, Loops: jp.Loops, HasReturn: jp.HasReturn, ReturnKind: jp.ReturnKind,
+		Analysis: jp.Analysis,
 	}
 	for _, a := range jp.Aggs {
 		p.Aggs = append(p.Aggs, AggDecl{Name: a.Name, Kind: a.Kind, Op: a.Op})

@@ -75,3 +75,26 @@ func TestDecodeRejectsGarbage(t *testing.T) {
 		}
 	}
 }
+
+func TestSerializeCarriesAnalysisSummary(t *testing.T) {
+	p := avgProgram()
+	p.Analysis = &AnalysisSummary{
+		Errors: 0, Warnings: 2, Infos: 3,
+		Codes: []string{"GM2002", "GM4001"}, WarningFree: false,
+	}
+	data, err := EncodeProgram(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := DecodeProgram(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2.Analysis == nil {
+		t.Fatal("analysis summary lost in round trip")
+	}
+	if p2.Analysis.Warnings != 2 || p2.Analysis.Infos != 3 || p2.Analysis.WarningFree ||
+		len(p2.Analysis.Codes) != 2 || p2.Analysis.Codes[0] != "GM2002" {
+		t.Errorf("analysis summary drifted: %+v", p2.Analysis)
+	}
+}
