@@ -5,10 +5,14 @@
 //	gmbench -table 3       transformations applied per algorithm (Table 3)
 //	gmbench -figure6       generated-vs-manual runtime/steps/bytes (Figure 6)
 //	gmbench -bc            the §5.1 Betweenness Centrality experiment
+//	gmbench -recovery      checkpoint-overhead / crash-recovery table
 //	gmbench -all           everything
 //
 // -scale multiplies graph sizes (scale 1 ≈ 5-8k vertices per graph);
-// -workers, -trials and -seed control the engine runs.
+// -workers, -trials and -seed control the engine runs. The recovery
+// table is further shaped by -ckpt-every (0 sweeps {1,2,4,8}),
+// -crash-step (0 picks a mid-run superstep off the checkpoint grid),
+// and -crash-worker.
 package main
 
 import (
@@ -26,14 +30,19 @@ func main() {
 		bc       = flag.Bool("bc", false, "run the Betweenness Centrality compilation experiment")
 		ablation = flag.Bool("ablation", false, "measure optimization and combiner ablations")
 		activity = flag.Bool("activity", false, "measure the SSSP per-superstep active-vertex profile (§5.2)")
+		recovery = flag.Bool("recovery", false, "measure checkpoint overhead and crash-recovery latency")
 		all      = flag.Bool("all", false, "regenerate everything")
 		scale    = flag.Int("scale", 2, "graph scale multiplier")
 		workers  = flag.Int("workers", 8, "engine workers")
 		trials   = flag.Int("trials", 3, "timing trials (minimum is reported)")
 		seed     = flag.Int64("seed", 1, "random seed")
+
+		ckptEvery   = flag.Int("ckpt-every", 0, "recovery: checkpoint interval (0 sweeps 1,2,4,8)")
+		crashStep   = flag.Int("crash-step", 0, "recovery: superstep of the injected crash (0 = auto mid-run)")
+		crashWorker = flag.Int("crash-worker", 1, "recovery: worker index of the injected crash")
 	)
 	flag.Parse()
-	if !*all && *table == 0 && !*figure6 && !*bc && !*ablation && !*activity {
+	if !*all && *table == 0 && !*figure6 && !*bc && !*ablation && !*activity && !*recovery {
 		flag.PrintDefaults()
 		os.Exit(2)
 	}
@@ -76,6 +85,11 @@ func main() {
 	}
 	if *all || *activity {
 		_, err := bench.SSSPActivity(w, *scale, *workers, *seed)
+		fail(err)
+		fmt.Fprintln(w)
+	}
+	if *all || *recovery {
+		_, err := bench.RecoveryTable(w, *scale, *workers, *trials, *seed, *ckptEvery, *crashStep, *crashWorker)
 		fail(err)
 	}
 }

@@ -26,6 +26,7 @@
 package gmpregel
 
 import (
+	"context"
 	"io"
 	"os"
 
@@ -52,8 +53,30 @@ type Result = machine.Result
 // Config controls an engine run (worker count, superstep limit, seed).
 type Config = pregel.Config
 
-// Stats summarizes a run: supersteps, messages, network/control bytes.
+// Stats summarizes a run: supersteps, messages, network/control bytes,
+// and checkpoint/recovery accounting.
 type Stats = pregel.Stats
+
+// Checkpointable is implemented by jobs whose state the engine snapshots
+// at checkpoint barriers and restores on rollback; compiled programs
+// implement it automatically.
+type Checkpointable = pregel.Checkpointable
+
+// Fault is one deterministic injected failure (see Config.Faults).
+type Fault = pregel.Fault
+
+// FaultPlan schedules deterministic fault injections for a run.
+type FaultPlan = pregel.FaultPlan
+
+// FaultPhase selects where in a superstep an injected fault fires.
+type FaultPhase = pregel.FaultPhase
+
+// Fault phases: during a worker's vertex-compute loop or at the message
+// routing barrier.
+const (
+	FaultVertexCompute = pregel.FaultVertexCompute
+	FaultRouting       = pregel.FaultRouting
+)
 
 // Diagnostic is one static-analysis finding (code, severity, position,
 // message, optional fix hint).
@@ -117,6 +140,13 @@ func (p *Compiled) Diagnostics() Diagnostics { return p.c.Diagnostics }
 // Run executes the compiled program on g.
 func (p *Compiled) Run(g *Graph, b Bindings, cfg Config) (*Result, error) {
 	return machine.Run(p.c.Program, g, b, cfg)
+}
+
+// RunContext is Run under a cancellation context: the run aborts cleanly
+// at the next superstep barrier once ctx is done, returning the partial
+// Result alongside the error.
+func (p *Compiled) RunContext(ctx context.Context, g *Graph, b Bindings, cfg Config) (*Result, error) {
+	return machine.RunContext(ctx, p.c.Program, g, b, cfg)
 }
 
 // JavaSource renders the generated program as GPS-style Java source, the

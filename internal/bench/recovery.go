@@ -1,0 +1,200 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"reflect"
+	"time"
+
+	"gmpregel/internal/graph"
+	"gmpregel/internal/machine"
+	"gmpregel/internal/manual"
+	"gmpregel/internal/pregel"
+)
+
+// RecoveryRow is one line of the fault-tolerance evaluation: for an
+// algorithm and checkpoint interval, the checkpointing overhead on a
+// fault-free run and the recovery cost of a deterministic mid-run worker
+// crash.
+type RecoveryRow struct {
+	Algorithm string
+	Interval  int // CheckpointEvery
+
+	Base            time.Duration // fault-free, checkpointing off
+	Ckpt            time.Duration // fault-free, checkpointing on
+	OverheadPct     float64       // (Ckpt-Base)/Base * 100
+	CheckpointBytes int64
+
+	CrashStep       int
+	Faulty          time.Duration // checkpointing on, one injected crash
+	RecoveryLatency time.Duration // Faulty - Ckpt
+	Recoveries      int
+	RecoveredSteps  int
+
+	// Identical reports that the faulty run produced bit-identical vertex
+	// outputs and return values to the fault-free run.
+	Identical bool
+}
+
+// recoveryRun is one algorithm execution: it returns the vertex outputs
+// (for bit-identity comparison) and the run's stats.
+type recoveryRun func(cfg pregel.Config) (any, pregel.Stats, error)
+
+// recoveryAlgorithms builds the Algorithm → runner table: the two manual
+// baselines the paper treats as hand-tuned references (PageRank, SSSP —
+// the latter with unit-capable lengths is BFS-like relaxation) and the
+// compiler-generated PageRank, so the recovery path is exercised through
+// the full Green-Marl → machine pipeline.
+func recoveryAlgorithms(g *graph.Directed, in *Inputs, p Params) ([]string, map[string]recoveryRun, error) {
+	n := g.NumNodes()
+	runs := map[string]recoveryRun{
+		"pagerank(man)": func(cfg pregel.Config) (any, pregel.Stats, error) {
+			j := &manual.PageRank{Eps: p.PRBeps, D: p.PRDamping, MaxIter: p.PRMaxIter, PR: make([]float64, n)}
+			st, err := pregel.Run(g, j, cfg)
+			return j.PR, st, err
+		},
+		"sssp(man)": func(cfg pregel.Config) (any, pregel.Stats, error) {
+			j := &manual.SSSP{Root: in.Root, Len: in.EdgeLen, Dist: make([]int64, n)}
+			st, err := pregel.Run(g, j, cfg)
+			return j.Dist, st, err
+		},
+	}
+	c, err := CompiledProgram("pagerank")
+	if err != nil {
+		return nil, nil, err
+	}
+	runs["pagerank(gen)"] = func(cfg pregel.Config) (any, pregel.Stats, error) {
+		res, err := machine.Run(c.Program, g, bindingsFor("pagerank", in, p), cfg)
+		if err != nil {
+			return nil, pregel.Stats{}, err
+		}
+		pr, perr := res.NodePropFloat("pg_rank")
+		if perr != nil {
+			return nil, res.Stats, perr
+		}
+		return append([]float64{retAsFloat(res)}, pr...), res.Stats, nil
+	}
+	return []string{"pagerank(man)", "sssp(man)", "pagerank(gen)"}, runs, nil
+}
+
+func retAsFloat(res *machine.Result) float64 {
+	if !res.HasRet {
+		return 0
+	}
+	return res.Ret.AsFloat()
+}
+
+// pickCrashStep chooses a deterministic mid-run superstep that does not
+// sit on a checkpoint barrier, so recovery always replays work.
+func pickCrashStep(supersteps, interval int) int {
+	s := supersteps / 2
+	if s < 1 {
+		s = 1
+	}
+	if interval > 0 && s%interval == 0 {
+		s++
+	}
+	if s >= supersteps {
+		s = supersteps - 1
+	}
+	if s < 0 {
+		s = 0
+	}
+	return s
+}
+
+// RecoveryIntervals is the checkpoint-interval sweep used when none is
+// pinned on the command line.
+func RecoveryIntervals() []int { return []int{1, 2, 4, 8} }
+
+// RecoveryTable measures checkpoint overhead and recovery latency for
+// each algorithm × interval and writes the table. crashStep 0 picks a
+// mid-run superstep automatically; ckptEvery 0 sweeps RecoveryIntervals.
+func RecoveryTable(w io.Writer, scale, workers, trials int, seed int64, ckptEvery, crashStep, crashWorker int) ([]RecoveryRow, error) {
+	spec, err := GraphByName("twitter")
+	if err != nil {
+		return nil, err
+	}
+	g := spec.Build(scale)
+	in := MakeInputs(g, 0, seed+7)
+	p := DefaultParams()
+	base := pregel.Config{NumWorkers: workers, Seed: seed}
+
+	intervals := RecoveryIntervals()
+	if ckptEvery > 0 {
+		intervals = []int{ckptEvery}
+	}
+	names, runs, err := recoveryAlgorithms(g, in, p)
+	if err != nil {
+		return nil, err
+	}
+
+	fmt.Fprintf(w, "Recovery table: checkpoint overhead and crash-recovery cost (graph=twitter scale=%d workers=%d)\n", scale, workers)
+	fmt.Fprintf(w, "%-14s %5s %12s %12s %9s %10s | %6s %12s %12s %5s %6s %6s\n",
+		"algorithm", "ckpt", "base", "ckpt-run", "overhead", "ckpt-bytes",
+		"crash", "faulty", "rec-latency", "recov", "resteps", "ident")
+
+	var rows []RecoveryRow
+	for _, name := range names {
+		run := runs[name]
+		refOut, refStats, err := run(base)
+		if err != nil {
+			return nil, fmt.Errorf("%s baseline: %v", name, err)
+		}
+		baseD, err := timeRun(trials, func() error { _, _, err := run(base); return err })
+		if err != nil {
+			return nil, err
+		}
+		for _, iv := range intervals {
+			ckCfg := base
+			ckCfg.CheckpointEvery = iv
+			ckOut, ckStats, err := run(ckCfg)
+			if err != nil {
+				return nil, fmt.Errorf("%s ckpt=%d: %v", name, iv, err)
+			}
+			ckD, err := timeRun(trials, func() error { _, _, err := run(ckCfg); return err })
+			if err != nil {
+				return nil, err
+			}
+
+			crash := crashStep
+			if crash <= 0 {
+				crash = pickCrashStep(refStats.Supersteps, iv)
+			}
+			fCfg := ckCfg
+			fCfg.Faults = pregel.FaultPlan{{Superstep: crash, Worker: crashWorker}}
+			fOut, fStats, err := run(fCfg)
+			if err != nil {
+				return nil, fmt.Errorf("%s ckpt=%d crash=%d: %v", name, iv, crash, err)
+			}
+			fD, err := timeRun(trials, func() error { _, _, err := run(fCfg); return err })
+			if err != nil {
+				return nil, err
+			}
+
+			row := RecoveryRow{
+				Algorithm:       name,
+				Interval:        iv,
+				Base:            baseD,
+				Ckpt:            ckD,
+				OverheadPct:     100 * float64(ckD-baseD) / float64(baseD),
+				CheckpointBytes: ckStats.CheckpointBytes,
+				CrashStep:       crash,
+				Faulty:          fD,
+				RecoveryLatency: fD - ckD,
+				Recoveries:      fStats.Recoveries,
+				RecoveredSteps:  fStats.RecoveredSupersteps,
+				Identical: reflect.DeepEqual(refOut, ckOut) && reflect.DeepEqual(refOut, fOut) &&
+					refStats.ReturnedInt == fStats.ReturnedInt && refStats.ReturnedFloat == fStats.ReturnedFloat,
+			}
+			rows = append(rows, row)
+			fmt.Fprintf(w, "%-14s %5d %12s %12s %8.1f%% %10d | %6d %12s %12s %5d %6d %6v\n",
+				row.Algorithm, row.Interval,
+				row.Base.Round(time.Microsecond), row.Ckpt.Round(time.Microsecond),
+				row.OverheadPct, row.CheckpointBytes,
+				row.CrashStep, row.Faulty.Round(time.Microsecond), row.RecoveryLatency.Round(time.Microsecond),
+				row.Recoveries, row.RecoveredSteps, row.Identical)
+		}
+	}
+	return rows, nil
+}

@@ -1,6 +1,8 @@
 package machine
 
 import (
+	"context"
+
 	"gmpregel/internal/gm/ast"
 	"gmpregel/internal/graph"
 	"gmpregel/internal/ir"
@@ -23,7 +25,7 @@ type RunOptions struct {
 
 // RunWithOptions is Run plus executor options.
 func RunWithOptions(p *Program, g *graph.Directed, b Bindings, cfg pregel.Config, ro RunOptions) (*Result, error) {
-	return run(p, g, b, cfg, ro)
+	return run(context.Background(), p, g, b, cfg, ro)
 }
 
 // combinableOp returns, for each message type, the reduction operator

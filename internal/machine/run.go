@@ -1,6 +1,7 @@
 package machine
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 
@@ -79,10 +80,16 @@ func (r *Result) NodePropFloat(name string) ([]float64, error) {
 
 // Run executes the program on g with the given bindings.
 func Run(p *Program, g *graph.Directed, b Bindings, cfg pregel.Config) (*Result, error) {
-	return run(p, g, b, cfg, RunOptions{})
+	return run(context.Background(), p, g, b, cfg, RunOptions{})
 }
 
-func run(p *Program, g *graph.Directed, b Bindings, cfg pregel.Config, ro RunOptions) (*Result, error) {
+// RunContext is Run under a cancellation context: the run aborts at the
+// next superstep barrier once ctx is done (see pregel.RunContext).
+func RunContext(ctx context.Context, p *Program, g *graph.Directed, b Bindings, cfg pregel.Config) (*Result, error) {
+	return run(ctx, p, g, b, cfg, RunOptions{})
+}
+
+func run(ctx context.Context, p *Program, g *graph.Directed, b Bindings, cfg pregel.Config, ro RunOptions) (*Result, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
@@ -176,11 +183,13 @@ func run(p *Program, g *graph.Directed, b Bindings, cfg pregel.Config, ro RunOpt
 	for w := range ex.envs {
 		ex.envs[w] = &vertexEnv{ex: ex, curEdge: -1, locals: make([]ir.Value, maxLocals)}
 	}
-	st, err := pregel.Run(g, ex, cfg)
-	if err != nil {
-		return nil, err
-	}
+	st, err := pregel.RunContext(ctx, g, ex, cfg)
 	res := &Result{Stats: st, prog: p, cols: ex.cols, Ret: ex.ret, HasRet: ex.retSet}
+	if err != nil {
+		// Partial result: Stats (and whatever the program computed so
+		// far) stay readable alongside the abort error.
+		return res, err
+	}
 	return res, nil
 }
 

@@ -1,0 +1,158 @@
+package machine
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"gmpregel/internal/graph"
+	"gmpregel/internal/ir"
+)
+
+func floatSnapBits(f float64) uint64     { return math.Float64bits(f) }
+func floatSnapFromBits(b uint64) float64 { return math.Float64frombits(b) }
+
+// The executor implements pregel.Checkpointable so compiled programs
+// recover from injected faults: the snapshot captures every piece of
+// interpreter state a superstep mutates — the CFG position, scalar
+// slots, property columns, collected incoming-neighbor lists, and the
+// program return value. Compiled closures and per-worker environments
+// are immutable/transient and are not stored.
+
+const snapshotVersion = 1
+
+// SnapshotState serializes the executor's mutable state.
+func (ex *exec) SnapshotState() []byte {
+	b := []byte{snapshotVersion}
+	u32 := func(v uint32) { b = binary.LittleEndian.AppendUint32(b, v) }
+	u64 := func(v uint64) { b = binary.LittleEndian.AppendUint64(b, v) }
+	boolb := func(v bool) {
+		if v {
+			b = append(b, 1)
+		} else {
+			b = append(b, 0)
+		}
+	}
+	value := func(v ir.Value) {
+		b = append(b, byte(v.K))
+		u64(uint64(v.I))
+		u64(floatSnapBits(v.F))
+	}
+
+	u32(uint32(ex.cur))
+	u32(uint32(ex.state))
+	boolb(ex.retSet)
+	value(ex.ret)
+	u32(uint32(len(ex.scalars)))
+	for _, v := range ex.scalars {
+		value(v)
+	}
+	u32(uint32(len(ex.cols)))
+	for _, c := range ex.cols {
+		if c.f != nil {
+			b = append(b, 1)
+			u32(uint32(len(c.f)))
+			for _, v := range c.f {
+				u64(floatSnapBits(v))
+			}
+		} else {
+			b = append(b, 0)
+			u32(uint32(len(c.i)))
+			for _, v := range c.i {
+				u64(uint64(v))
+			}
+		}
+	}
+	boolb(ex.inNbrs != nil)
+	if ex.inNbrs != nil {
+		u32(uint32(len(ex.inNbrs)))
+		for _, ns := range ex.inNbrs {
+			u32(uint32(len(ns)))
+			for _, n := range ns {
+				u32(uint32(n))
+			}
+		}
+	}
+	return b
+}
+
+// RestoreState rewinds the executor to a prior snapshot. It panics on a
+// malformed or mismatched snapshot; the engine converts the panic into a
+// recovery error.
+func (ex *exec) RestoreState(data []byte) {
+	r := &snapReader{b: data}
+	if v := r.u8(); v != snapshotVersion {
+		panic(fmt.Sprintf("machine: unknown snapshot version %d", v))
+	}
+	ex.cur = int(r.u32())
+	ex.state = int(r.u32())
+	ex.retSet = r.bool()
+	ex.ret = r.value()
+	if n := int(r.u32()); n != len(ex.scalars) {
+		panic(fmt.Sprintf("machine: snapshot scalar count %d, executor has %d", n, len(ex.scalars)))
+	}
+	for i := range ex.scalars {
+		ex.scalars[i] = r.value()
+	}
+	if n := int(r.u32()); n != len(ex.cols) {
+		panic(fmt.Sprintf("machine: snapshot column count %d, executor has %d", n, len(ex.cols)))
+	}
+	for i := range ex.cols {
+		c := &ex.cols[i]
+		isFloat := r.u8() == 1
+		n := int(r.u32())
+		switch {
+		case isFloat && len(c.f) == n:
+			for j := range c.f {
+				c.f[j] = floatSnapFromBits(r.u64())
+			}
+		case !isFloat && len(c.i) == n:
+			for j := range c.i {
+				c.i[j] = int64(r.u64())
+			}
+		default:
+			panic(fmt.Sprintf("machine: snapshot column %d shape mismatch", i))
+		}
+	}
+	if r.bool() {
+		if ex.inNbrs == nil || len(ex.inNbrs) != int(r.u32()) {
+			panic("machine: snapshot in-neighbor shape mismatch")
+		}
+		for v := range ex.inNbrs {
+			n := int(r.u32())
+			ns := ex.inNbrs[v][:0]
+			for j := 0; j < n; j++ {
+				ns = append(ns, graph.NodeID(int32(r.u32())))
+			}
+			ex.inNbrs[v] = ns
+		}
+	} else if ex.inNbrs != nil {
+		panic("machine: snapshot missing in-neighbor lists")
+	}
+	if r.bad {
+		panic(fmt.Sprintf("machine: truncated snapshot (%d bytes)", len(data)))
+	}
+}
+
+type snapReader struct {
+	b   []byte
+	off int
+	bad bool
+}
+
+func (r *snapReader) take(n int) []byte {
+	if r.bad || r.off+n > len(r.b) {
+		r.bad = true
+		return make([]byte, n)
+	}
+	s := r.b[r.off : r.off+n]
+	r.off += n
+	return s
+}
+func (r *snapReader) u8() byte    { return r.take(1)[0] }
+func (r *snapReader) u32() uint32 { return binary.LittleEndian.Uint32(r.take(4)) }
+func (r *snapReader) u64() uint64 { return binary.LittleEndian.Uint64(r.take(8)) }
+func (r *snapReader) bool() bool  { return r.u8() != 0 }
+func (r *snapReader) value() ir.Value {
+	return ir.Value{K: ir.Kind(r.u8()), I: int64(r.u64()), F: floatSnapFromBits(r.u64())}
+}

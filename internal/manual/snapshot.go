@@ -1,0 +1,124 @@
+package manual
+
+import (
+	"bytes"
+	"encoding/gob"
+
+	"gmpregel/internal/graph"
+)
+
+// The manual jobs implement pregel.Checkpointable so fault-injected runs
+// recover exactly like the compiler-generated programs. Snapshots are
+// gob-encoded mirror structs covering every field a superstep mutates.
+// Restores copy element-wise into the existing output slices (callers
+// hold references to them), only replacing a slice when its length
+// changed — which for these jobs means a corrupt snapshot, reported by
+// panicking (the engine converts the panic into a recovery error).
+
+func gobSnapshot(v any) []byte {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		panic("manual: snapshot encode failed: " + err.Error())
+	}
+	return buf.Bytes()
+}
+
+func gobRestore(b []byte, v any) {
+	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(v); err != nil {
+		panic("manual: snapshot decode failed: " + err.Error())
+	}
+}
+
+func restoreInto[T any](dst *[]T, src []T) {
+	if len(*dst) == len(src) {
+		copy(*dst, src)
+		return
+	}
+	*dst = src
+}
+
+type avgTeenSnap struct {
+	TeenCnt []int64
+	Avg     float64
+}
+
+// SnapshotState captures the per-vertex teen counts and the final average.
+func (j *AvgTeen) SnapshotState() []byte {
+	return gobSnapshot(avgTeenSnap{j.TeenCnt, j.Avg})
+}
+
+// RestoreState rewinds to a prior SnapshotState.
+func (j *AvgTeen) RestoreState(b []byte) {
+	var s avgTeenSnap
+	gobRestore(b, &s)
+	restoreInto(&j.TeenCnt, s.TeenCnt)
+	j.Avg = s.Avg
+}
+
+type pageRankSnap struct {
+	PR []float64
+}
+
+// SnapshotState captures the rank vector.
+func (j *PageRank) SnapshotState() []byte { return gobSnapshot(pageRankSnap{j.PR}) }
+
+// RestoreState rewinds to a prior SnapshotState.
+func (j *PageRank) RestoreState(b []byte) {
+	var s pageRankSnap
+	gobRestore(b, &s)
+	restoreInto(&j.PR, s.PR)
+}
+
+type conductanceSnap struct {
+	InNbrs    [][]graph.NodeID
+	Din, Dout int64
+	Result    float64
+}
+
+// SnapshotState captures the collected in-neighbor lists, the snapshotted
+// degree sums, and the result.
+func (j *Conductance) SnapshotState() []byte {
+	return gobSnapshot(conductanceSnap{j.inNbrs, j.din, j.dout, j.Result})
+}
+
+// RestoreState rewinds to a prior SnapshotState.
+func (j *Conductance) RestoreState(b []byte) {
+	var s conductanceSnap
+	gobRestore(b, &s)
+	j.inNbrs, j.din, j.dout, j.Result = s.InNbrs, s.Din, s.Dout, s.Result
+}
+
+type ssspSnap struct {
+	Dist []int64
+}
+
+// SnapshotState captures the distance vector.
+func (j *SSSP) SnapshotState() []byte { return gobSnapshot(ssspSnap{j.Dist}) }
+
+// RestoreState rewinds to a prior SnapshotState.
+func (j *SSSP) RestoreState(b []byte) {
+	var s ssspSnap
+	gobRestore(b, &s)
+	restoreInto(&j.Dist, s.Dist)
+}
+
+type bipartiteSnap struct {
+	Match          []graph.NodeID
+	Suitor         []graph.NodeID
+	Count          int64
+	LastRoundEmpty bool
+}
+
+// SnapshotState captures matches, pending suitors, the matched count, and
+// the round-progress flag.
+func (j *Bipartite) SnapshotState() []byte {
+	return gobSnapshot(bipartiteSnap{j.Match, j.suitor, j.Count, j.lastRoundEmpty})
+}
+
+// RestoreState rewinds to a prior SnapshotState.
+func (j *Bipartite) RestoreState(b []byte) {
+	var s bipartiteSnap
+	gobRestore(b, &s)
+	restoreInto(&j.Match, s.Match)
+	j.suitor, j.Count, j.lastRoundEmpty = s.Suitor, s.Count, s.LastRoundEmpty
+}

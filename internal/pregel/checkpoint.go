@@ -1,0 +1,336 @@
+package pregel
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"gmpregel/internal/graph"
+)
+
+func floatBits(f float64) uint64        { return math.Float64bits(f) }
+func floatFromBits(b uint64) float64    { return math.Float64frombits(b) }
+func nodeFromU32(v uint32) graph.NodeID { return graph.NodeID(int32(v)) }
+
+// Checkpointable is implemented by jobs whose state the engine snapshots
+// at checkpoint barriers and restores on rollback. SnapshotState must
+// capture every piece of state the job mutates during compute (property
+// columns, scratch slices, master-side accumulators); RestoreState must
+// bring the job back to exactly that state. Jobs that keep no state
+// between supersteps may omit the interface: the engine then checkpoints
+// only its own state (inboxes, active flags, globals, aggregators, RNG
+// positions) and recovery remains sound.
+type Checkpointable interface {
+	SnapshotState() []byte
+	RestoreState([]byte)
+}
+
+// countingSource is a math/rand Source that counts draws so a checkpoint
+// can record the stream position and a rollback can restore it by
+// replaying from the seed. It deliberately does not implement Source64:
+// rand.Rand then derives every method from Int63, so the draw count
+// fully determines the stream position. (rand.Rand.Read is the one
+// method whose buffered byte state is not captured; compute functions
+// must not use it.)
+type countingSource struct {
+	seed  int64
+	src   rand.Source
+	draws int64
+}
+
+func newCountingSource(seed int64) *countingSource {
+	return &countingSource{seed: seed, src: rand.NewSource(seed)}
+}
+
+func (s *countingSource) Int63() int64 {
+	s.draws++
+	return s.src.Int63()
+}
+
+func (s *countingSource) Seed(seed int64) {
+	s.seed, s.draws = seed, 0
+	s.src.Seed(seed)
+}
+
+// jump rewinds to the seed and fast-forwards the stream to the given
+// draw count.
+func (s *countingSource) jump(draws int64) {
+	s.src.Seed(s.seed)
+	s.draws = 0
+	for s.draws < draws {
+		s.draws++
+		s.src.Int63()
+	}
+}
+
+// checkpoint is one recovery point: the engine state serialized at the
+// barrier entering superstep step, plus the job's own snapshot.
+type checkpoint struct {
+	step int
+	data []byte // engine state (stats, master, globals, aggregators, workers)
+	job  []byte // Checkpointable snapshot; nil when the job is stateless
+}
+
+// checkpointDue reports whether a checkpoint should be taken at the
+// barrier entering step. With CheckpointEvery = k, checkpoints land
+// before supersteps 0, k, 2k, …; with only a fault plan configured, a
+// single superstep-0 checkpoint makes full replay possible. A fresh
+// rollback target for the same step is never retaken (the state would be
+// byte-identical).
+func (e *engine) checkpointDue(step int) bool {
+	if !e.ckptOn {
+		return false
+	}
+	if e.ckpt != nil && e.ckpt.step == step {
+		return false
+	}
+	if e.cfg.CheckpointEvery > 0 {
+		return step%e.cfg.CheckpointEvery == 0
+	}
+	return step == 0
+}
+
+// takeCheckpoint snapshots engine and job state at the barrier entering
+// step and accounts the serialized size.
+func (e *engine) takeCheckpoint(step int) {
+	ck := &checkpoint{step: step, data: e.encodeState()}
+	if c, ok := e.job.(Checkpointable); ok {
+		ck.job = c.SnapshotState()
+	}
+	e.ckpt = ck
+	e.stats.Checkpoints++
+	e.stats.CheckpointBytes += int64(len(ck.data) + len(ck.job))
+}
+
+// rollback restores the last checkpoint after an injected fault and
+// returns the superstep to resume from. It fails when no checkpoint
+// exists or the recovery budget is exhausted; the caller then surfaces
+// the error with whatever partial Stats accumulated.
+func (e *engine) rollback(f *InjectedFault) (int, error) {
+	if e.ckpt == nil {
+		return 0, fmt.Errorf("%w (no checkpoint to recover from)", f)
+	}
+	if e.stats.Recoveries >= e.cfg.MaxRecoveries {
+		return 0, fmt.Errorf("%w (recovery budget of %d exhausted)", f, e.cfg.MaxRecoveries)
+	}
+	// Supersteps whose work is re-executed: everything since the
+	// checkpoint plus the failed superstep itself.
+	recovered := f.Superstep - e.ckpt.step + 1
+	if err := e.restoreCheckpoint(); err != nil {
+		return 0, err
+	}
+	e.stats.Recoveries++
+	e.stats.RecoveredSupersteps += recovered
+	return e.ckpt.step, nil
+}
+
+func (e *engine) restoreCheckpoint() (err error) {
+	if derr := e.decodeState(e.ckpt.data); derr != nil {
+		return fmt.Errorf("pregel: corrupt checkpoint: %w", derr)
+	}
+	if c, ok := e.job.(Checkpointable); ok && e.ckpt.job != nil {
+		defer func() {
+			if r := recover(); r != nil {
+				err = fmt.Errorf("pregel: job RestoreState panicked: %v", r)
+			}
+		}()
+		c.RestoreState(e.ckpt.job)
+	}
+	return nil
+}
+
+// ---- Engine state serialization ----
+//
+// The engine state at a barrier is serialized to a flat byte buffer:
+// master return/halt flags, the master RNG draw count, globals,
+// aggregator cells, the Stats counters a rollback must rewind, and per
+// worker the active flags, routed inbox (CSR), and RNG draw count.
+// Outboxes, combiner indexes, and per-step counters are always empty at
+// a barrier and are reset on restore rather than stored.
+
+const checkpointVersion = 1
+
+type stateEnc struct{ b []byte }
+
+func (w *stateEnc) u8(v byte)    { w.b = append(w.b, v) }
+func (w *stateEnc) u32(v uint32) { w.b = binary.LittleEndian.AppendUint32(w.b, v) }
+func (w *stateEnc) u64(v uint64) { w.b = binary.LittleEndian.AppendUint64(w.b, v) }
+func (w *stateEnc) i64(v int64)  { w.u64(uint64(v)) }
+func (w *stateEnc) bool(v bool) {
+	if v {
+		w.u8(1)
+	} else {
+		w.u8(0)
+	}
+}
+
+type stateDec struct {
+	b   []byte
+	off int
+	bad bool
+}
+
+func (r *stateDec) take(n int) []byte {
+	if r.bad || r.off+n > len(r.b) {
+		r.bad = true
+		return make([]byte, n)
+	}
+	s := r.b[r.off : r.off+n]
+	r.off += n
+	return s
+}
+func (r *stateDec) u8() byte    { return r.take(1)[0] }
+func (r *stateDec) u32() uint32 { return binary.LittleEndian.Uint32(r.take(4)) }
+func (r *stateDec) u64() uint64 { return binary.LittleEndian.Uint64(r.take(8)) }
+func (r *stateDec) i64() int64  { return int64(r.u64()) }
+func (r *stateDec) bool() bool  { return r.u8() != 0 }
+
+func (e *engine) encodeState() []byte {
+	w := &stateEnc{}
+	w.u8(checkpointVersion)
+	w.bool(e.halted)
+	w.bool(e.retSet)
+	w.bool(e.retIsInt)
+	w.i64(e.retInt)
+	w.u64(floatBits(e.retFloat))
+	w.i64(e.masterSrc.draws)
+	w.u32(uint32(len(e.globals)))
+	for _, g := range e.globals {
+		w.u64(g)
+	}
+	w.i64(e.globalBytes)
+	w.u32(uint32(len(e.aggValues)))
+	for _, c := range e.aggValues {
+		w.bool(c.set)
+		w.i64(c.i)
+		w.u64(floatBits(c.f))
+	}
+	w.i64(int64(e.stats.Supersteps))
+	w.i64(e.stats.MessagesSent)
+	w.i64(e.stats.NetworkMsgs)
+	w.i64(e.stats.NetworkBytes)
+	w.i64(e.stats.LocalBytes)
+	w.i64(e.stats.ControlBytes)
+	w.i64(e.stats.VertexCalls)
+	w.u32(uint32(len(e.stats.Steps)))
+	for _, s := range e.stats.Steps {
+		w.i64(s.Messages)
+		w.i64(s.NetworkBytes)
+		w.i64(s.VertexCalls)
+	}
+	w.u32(uint32(len(e.workers)))
+	for _, wk := range e.workers {
+		w.i64(wk.rngSrc.draws)
+		w.u32(uint32(len(wk.active)))
+		for _, a := range wk.active {
+			w.bool(a)
+		}
+		w.u32(uint32(len(wk.inFlat)))
+		for i := range wk.inFlat {
+			m := &wk.inFlat[i]
+			w.u32(uint32(m.Dst))
+			w.u8(m.Type)
+			for _, v := range m.V {
+				w.u64(v)
+			}
+		}
+		w.u32(uint32(len(wk.inOff)))
+		for _, o := range wk.inOff {
+			w.u32(uint32(o))
+		}
+	}
+	return w.b
+}
+
+// decodeState restores the engine to the serialized barrier state,
+// clearing every transient a crashed superstep may have dirtied
+// (outboxes, combiner indexes, per-step counters, local aggregator
+// cells, worker errors). The monotone recovery-cost counters
+// (Recoveries, RecoveredSupersteps, Checkpoints, CheckpointBytes) are
+// preserved, not rewound.
+func (e *engine) decodeState(data []byte) error {
+	r := &stateDec{b: data}
+	if v := r.u8(); v != checkpointVersion {
+		return fmt.Errorf("unknown checkpoint version %d", v)
+	}
+	e.halted = r.bool()
+	e.retSet = r.bool()
+	e.retIsInt = r.bool()
+	e.retInt = r.i64()
+	e.retFloat = floatFromBits(r.u64())
+	e.masterSrc.jump(r.i64())
+	if n := int(r.u32()); n != len(e.globals) {
+		return fmt.Errorf("global count mismatch: %d vs %d", n, len(e.globals))
+	}
+	for i := range e.globals {
+		e.globals[i] = r.u64()
+	}
+	e.globalBytes = r.i64()
+	if n := int(r.u32()); n != len(e.aggValues) {
+		return fmt.Errorf("aggregator count mismatch: %d vs %d", n, len(e.aggValues))
+	}
+	for i := range e.aggValues {
+		e.aggValues[i] = aggCell{set: r.bool(), i: r.i64(), f: floatFromBits(r.u64())}
+	}
+	rec, recSteps, cks, ckb := e.stats.Recoveries, e.stats.RecoveredSupersteps, e.stats.Checkpoints, e.stats.CheckpointBytes
+	e.stats = Stats{
+		Supersteps:   int(r.i64()),
+		MessagesSent: r.i64(),
+		NetworkMsgs:  r.i64(),
+		NetworkBytes: r.i64(),
+		LocalBytes:   r.i64(),
+		ControlBytes: r.i64(),
+		VertexCalls:  r.i64(),
+	}
+	e.stats.Recoveries, e.stats.RecoveredSupersteps, e.stats.Checkpoints, e.stats.CheckpointBytes = rec, recSteps, cks, ckb
+	if n := int(r.u32()); n > 0 {
+		e.stats.Steps = make([]StepStats, n)
+		for i := range e.stats.Steps {
+			e.stats.Steps[i] = StepStats{Messages: r.i64(), NetworkBytes: r.i64(), VertexCalls: r.i64()}
+		}
+	}
+	if n := int(r.u32()); n != len(e.workers) {
+		return fmt.Errorf("worker count mismatch: %d vs %d", n, len(e.workers))
+	}
+	for _, wk := range e.workers {
+		wk.rngSrc.jump(r.i64())
+		if n := int(r.u32()); n != len(wk.active) {
+			return fmt.Errorf("worker %d active-flag count mismatch", wk.index)
+		}
+		for i := range wk.active {
+			wk.active[i] = r.bool()
+		}
+		wk.inFlat = wk.inFlat[:0]
+		for i, n := 0, int(r.u32()); i < n; i++ {
+			var m Msg
+			m.Dst = nodeFromU32(r.u32())
+			m.Type = r.u8()
+			for s := range m.V {
+				m.V[s] = r.u64()
+			}
+			wk.inFlat = append(wk.inFlat, m)
+		}
+		if n := int(r.u32()); n != len(wk.inOff) {
+			return fmt.Errorf("worker %d inbox-offset count mismatch", wk.index)
+		}
+		for i := range wk.inOff {
+			wk.inOff[i] = int32(r.u32())
+		}
+		// Transients a crashed superstep may have dirtied.
+		for d := range wk.outboxes {
+			wk.outboxes[d] = wk.outboxes[d][:0]
+		}
+		wk.combineIdx = nil
+		for s := range wk.aggLocal {
+			wk.aggLocal[s] = aggCell{}
+		}
+		wk.msgs, wk.netMsgs, wk.netBytes, wk.localBytes, wk.calls = 0, 0, 0, 0, 0
+		wk.err = nil
+		wk.faultAt = -1
+	}
+	if r.bad {
+		return fmt.Errorf("truncated checkpoint (%d bytes)", len(data))
+	}
+	return nil
+}

@@ -93,9 +93,14 @@ func (mc *MasterContext) GlobalInt(s int) int64 { return int64(mc.e.globals[s]) 
 // sequential phases).
 func (mc *MasterContext) Rand() *rand.Rand { return mc.e.masterRand }
 
-// PickRandomNode returns a uniformly random vertex.
+// PickRandomNode returns a uniformly random vertex, or NilNode when the
+// graph has no vertices (no RNG draw is consumed in that case).
 func (mc *MasterContext) PickRandomNode() graph.NodeID {
-	return graph.NodeID(mc.e.masterRand.Intn(mc.e.g.NumNodes()))
+	n := mc.e.g.NumNodes()
+	if n == 0 {
+		return graph.NilNode
+	}
+	return graph.NodeID(mc.e.masterRand.Intn(n))
 }
 
 // VertexContext is the API surface of vertex.compute(). A single value is

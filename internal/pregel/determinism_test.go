@@ -1,0 +1,171 @@
+package pregel
+
+import (
+	"reflect"
+	"runtime"
+	"sort"
+	"testing"
+
+	"gmpregel/internal/graph/gen"
+)
+
+// workerCounts is the NumWorkers grid the determinism satellite sweeps.
+func workerCounts() []int {
+	return []int{1, 2, 7, runtime.GOMAXPROCS(0)}
+}
+
+// aggDetJob contributes to an AggAny, AggMin, and AggMax slot each
+// superstep and records the merged values the master observes.
+type aggDetJob struct {
+	steps    int
+	Observed [][3]int64 // per superstep: any, min, max(bits of float)
+}
+
+func (j *aggDetJob) Schema() Schema {
+	return Schema{Aggregators: []AggSpec{
+		{Name: "any", Kind: AggKindInt, Op: AggAny},
+		{Name: "min", Kind: AggKindInt, Op: AggMin},
+		{Name: "max", Kind: AggKindFloat, Op: AggMax},
+	}}
+}
+
+func (j *aggDetJob) MasterCompute(mc *MasterContext) {
+	if s := mc.Superstep(); s > 0 {
+		j.Observed = append(j.Observed, [3]int64{
+			mc.AggInt(0), mc.AggInt(1), int64(floatBits(mc.AggFloat(2))),
+		})
+		if s >= j.steps {
+			mc.Halt()
+		}
+	}
+}
+
+func (j *aggDetJob) VertexCompute(vc *VertexContext) {
+	v := int64(vc.ID())
+	vc.AggInt(0, v*31+int64(vc.Superstep()))
+	vc.AggInt(1, v-7)
+	vc.AggFloat(2, float64(v)*1.5)
+}
+
+// For each worker count: two identical runs produce identical Stats and
+// identical merged aggregator sequences. Across worker counts, the
+// partition-invariant reductions (AggMin/AggMax) agree; AggAny is only
+// required to be deterministic per configuration (its winner depends on
+// the partitioning by design).
+func TestAggregatorReductionDeterminism(t *testing.T) {
+	const n, steps = 53, 6
+	g := gen.TwitterLike(n, 5, 13)
+	run := func(w int) (*aggDetJob, Stats) {
+		j := &aggDetJob{steps: steps}
+		st, err := Run(g, j, Config{NumWorkers: w, Seed: 21})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return j, st
+	}
+	type outcome struct {
+		job *aggDetJob
+		st  Stats
+	}
+	byW := map[int]outcome{}
+	for _, w := range workerCounts() {
+		a, ast := run(w)
+		b, bst := run(w)
+		if !reflect.DeepEqual(ast, bst) {
+			t.Errorf("W=%d: stats differ across identical runs:\n%+v\n%+v", w, ast, bst)
+		}
+		if !reflect.DeepEqual(a.Observed, b.Observed) {
+			t.Errorf("W=%d: aggregator sequences differ across identical runs", w)
+		}
+		byW[w] = outcome{a, ast}
+	}
+	ref := byW[1]
+	for _, w := range workerCounts() {
+		o := byW[w]
+		if len(o.job.Observed) != len(ref.job.Observed) {
+			t.Fatalf("W=%d: %d observations, want %d", w, len(o.job.Observed), len(ref.job.Observed))
+		}
+		for s := range o.job.Observed {
+			if o.job.Observed[s][1] != ref.job.Observed[s][1] || o.job.Observed[s][2] != ref.job.Observed[s][2] {
+				t.Errorf("W=%d step %d: min/max not partition-invariant: %v vs %v",
+					w, s, o.job.Observed[s], ref.job.Observed[s])
+			}
+		}
+		if o.st.Supersteps != ref.st.Supersteps || o.st.MessagesSent != ref.st.MessagesSent ||
+			o.st.VertexCalls != ref.st.VertexCalls {
+			t.Errorf("W=%d: semantic counters differ from W=1: %+v vs %+v", w, o.st, ref.st)
+		}
+	}
+}
+
+// routeMessages inbox ordering: per worker count the received payload
+// sequence is identical across runs, and across worker counts the
+// multiset of delivered messages is invariant.
+func TestInboxOrderDeterminismAcrossWorkerCounts(t *testing.T) {
+	const n = 47
+	g := gen.TwitterLike(n, 6, 19)
+	run := func(w int) [][]int64 {
+		j := &orderAllJob{order: make([][]int64, n)}
+		if _, err := Run(g, j, Config{NumWorkers: w, Seed: 2}); err != nil {
+			t.Fatal(err)
+		}
+		return j.order
+	}
+	var ref [][]int64
+	for _, w := range workerCounts() {
+		a, b := run(w), run(w)
+		if !reflect.DeepEqual(a, b) {
+			t.Errorf("W=%d: inbox order differs across identical runs", w)
+		}
+		sorted := make([][]int64, n)
+		for v := range a {
+			s := append([]int64(nil), a[v]...)
+			sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+			sorted[v] = s
+		}
+		if ref == nil {
+			ref = sorted
+		} else if !reflect.DeepEqual(ref, sorted) {
+			t.Errorf("W=%d: delivered message multiset not partition-invariant", w)
+		}
+	}
+}
+
+// Vertex outputs of a partition-independent job (min-label) are
+// bit-identical across the full worker grid.
+func TestVertexOutputsInvariantAcrossWorkerCounts(t *testing.T) {
+	const n = 80
+	g := gen.TwitterLike(n, 5, 23)
+	var ref []int64
+	for _, w := range workerCounts() {
+		labels, _ := runMinLabel(t, g, n, Config{NumWorkers: w, Seed: 8})
+		if ref == nil {
+			ref = labels
+		} else if !reflect.DeepEqual(ref, labels) {
+			t.Errorf("W=%d: min-label outputs differ from W=1", w)
+		}
+	}
+}
+
+// orderAllJob records every vertex's received payloads in arrival order
+// for two message waves.
+type orderAllJob struct {
+	order [][]int64
+}
+
+func (j *orderAllJob) Schema() Schema { return Schema{MessagePayloadBytes: []int{8}} }
+func (j *orderAllJob) MasterCompute(mc *MasterContext) {
+	if mc.Superstep() == 3 {
+		mc.Halt()
+	}
+}
+func (j *orderAllJob) VertexCompute(vc *VertexContext) {
+	for _, m := range vc.Messages() {
+		j.order[vc.ID()] = append(j.order[vc.ID()], m.Int(0))
+	}
+	if vc.Superstep() < 2 {
+		var m Msg
+		m.SetInt(0, int64(vc.ID())*100+int64(vc.Superstep()))
+		vc.SendToAllNbrs(m)
+	}
+}

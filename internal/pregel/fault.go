@@ -1,0 +1,89 @@
+package pregel
+
+import "fmt"
+
+// FaultPhase selects the point inside a superstep at which an injected
+// fault fires.
+type FaultPhase uint8
+
+// Fault phases. FaultVertexCompute crashes the worker midway through its
+// vertex loop (after half of its vertices ran, so job state and outboxes
+// are partially mutated); FaultRouting crashes it during the message
+// routing barrier, after the superstep's counters were merged.
+const (
+	FaultVertexCompute FaultPhase = iota
+	FaultRouting
+)
+
+func (p FaultPhase) String() string {
+	if p == FaultRouting {
+		return "routing"
+	}
+	return "vertex-compute"
+}
+
+// Fault is one deterministically injected worker failure. Worker is
+// taken modulo the resolved worker count, so plans stay valid when the
+// engine shrinks NumWorkers for tiny graphs.
+type Fault struct {
+	Superstep int
+	Worker    int
+	Phase     FaultPhase
+}
+
+// FaultPlan is a deterministic schedule of injected worker failures.
+// At most one fault fires per superstep attempt; listing the same
+// (superstep, worker) several times makes the worker crash again on each
+// replay until the plan (or the recovery budget) is exhausted.
+type FaultPlan []Fault
+
+// faultState tracks whether a planned fault has fired.
+type faultState struct {
+	Fault
+	fired bool
+}
+
+// InjectedFault is the failure reported by a planned crash. The engine
+// converts it into rollback-and-replay when a checkpoint is available;
+// it surfaces as an error only when recovery is impossible or the
+// budget is exhausted.
+type InjectedFault struct {
+	Superstep int
+	Worker    int
+	Phase     FaultPhase
+}
+
+func (f *InjectedFault) Error() string {
+	return fmt.Sprintf("pregel: injected fault: worker %d crashed in superstep %d (%s phase)",
+		f.Worker, f.Superstep, f.Phase)
+}
+
+// armVertexFault consumes the first unfired vertex-phase fault planned
+// for step and arms the target worker to crash midway through its
+// vertex loop.
+func (e *engine) armVertexFault(step int) {
+	for i := range e.faults {
+		f := &e.faults[i]
+		if f.fired || f.Superstep != step || f.Phase != FaultVertexCompute {
+			continue
+		}
+		f.fired = true
+		wk := e.workers[f.Worker%e.numWorkers]
+		wk.faultAt = len(wk.ids) / 2
+		return
+	}
+}
+
+// armRoutingFault consumes the first unfired routing-phase fault planned
+// for step, returning the failure to raise (nil if none).
+func (e *engine) armRoutingFault(step int) *InjectedFault {
+	for i := range e.faults {
+		f := &e.faults[i]
+		if f.fired || f.Superstep != step || f.Phase != FaultRouting {
+			continue
+		}
+		f.fired = true
+		return &InjectedFault{Superstep: step, Worker: f.Worker % e.numWorkers, Phase: FaultRouting}
+	}
+	return nil
+}

@@ -17,11 +17,14 @@
 package pregel
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math"
 	"math/rand"
 	"runtime"
 	"sync"
+	"time"
 
 	"gmpregel/internal/graph"
 )
@@ -74,8 +77,9 @@ func (m *Msg) Node(i int) graph.NodeID { return graph.NodeID(int32(uint32(m.V[i]
 type AggOp uint8
 
 // Aggregator reduction operators. AggAny keeps an arbitrary (but
-// deterministic: lowest worker, last write) contributed value, mirroring
-// the effect of parallel plain writes to a global.
+// deterministic: highest-indexed contributing worker's last write)
+// contributed value, mirroring the effect of parallel plain writes to a
+// global.
 const (
 	AggSum AggOp = iota
 	AggMin
@@ -149,6 +153,21 @@ type Config struct {
 	Seed int64
 	// TraceSteps records per-superstep statistics in Stats.Steps.
 	TraceSteps bool
+	// CheckpointEvery takes a recovery checkpoint at the barrier entering
+	// supersteps 0, k, 2k, …. 0 disables periodic checkpointing; when a
+	// fault plan is configured, a single superstep-0 checkpoint is still
+	// taken so rollback is always possible.
+	CheckpointEvery int
+	// Faults deterministically injects worker failures; each failure is
+	// converted into rollback to the last checkpoint and replay.
+	Faults FaultPlan
+	// MaxRecoveries bounds rollback-replay attempts, after which the run
+	// fails cleanly with partial Stats; 0 means 8.
+	MaxRecoveries int
+	// Deadline is a wall-clock budget for the whole run, checked at every
+	// superstep barrier (a superstep in progress is not interrupted);
+	// 0 means no deadline.
+	Deadline time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -157,6 +176,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxSupersteps <= 0 {
 		c.MaxSupersteps = 1 << 20
+	}
+	if c.MaxRecoveries <= 0 {
+		c.MaxRecoveries = 8
 	}
 	return c
 }
@@ -186,6 +208,19 @@ type Stats struct {
 	ReturnedIsSet bool
 	ReturnedIsInt bool
 	Steps         []StepStats
+
+	// Fault-tolerance accounting. Checkpoints and CheckpointBytes count
+	// every checkpoint taken (engine state + job snapshot, serialized);
+	// Recoveries counts rollbacks and RecoveredSupersteps the supersteps
+	// re-executed because of them. These four are monotone: a rollback
+	// rewinds every other counter to its checkpointed value but never
+	// these. A fault-injected run therefore finishes with the same
+	// Supersteps/Messages/Bytes/Returned* as an unfailed run, plus a
+	// nonzero recovery bill.
+	Checkpoints         int
+	CheckpointBytes     int64
+	Recoveries          int
+	RecoveredSupersteps int
 }
 
 type aggCell struct {
@@ -250,12 +285,18 @@ type engine struct {
 
 	aggValues []aggCell // merged values visible to master
 
+	masterSrc  *countingSource
 	masterRand *rand.Rand
 	halted     bool
 	retSet     bool
 	retIsInt   bool
 	retInt     int64
 	retFloat   float64
+
+	// Fault tolerance.
+	ckptOn bool
+	ckpt   *checkpoint
+	faults []faultState
 
 	stats Stats
 }
@@ -276,21 +317,52 @@ type worker struct {
 	combineIdx map[uint64]combineSlot
 
 	aggLocal []aggCell
+	rngSrc   *countingSource
 	rng      *rand.Rand
 
 	// per-step counters (merged under the barrier)
 	msgs, netMsgs, netBytes, localBytes, calls int64
 
 	err error
+	// faultAt is the local vertex index at which an armed injected fault
+	// fires this superstep; -1 when no fault is armed.
+	faultAt int
 }
 
 func (e *engine) workerOf(v graph.NodeID) int { return int(v) % e.numWorkers }
 
 // Run executes the job on g to completion and returns run statistics.
-// It returns an error if the job exceeds MaxSupersteps or a compute
-// function panics.
+// It returns an error if the job exceeds MaxSupersteps, a compute
+// function panics, the deadline expires, or the recovery budget is
+// exhausted. Even on error, Stats.Returned* reflect whatever the master
+// recorded before the abort, so callers see partial results
+// consistently.
 func Run(g *graph.Directed, job Job, cfg Config) (Stats, error) {
+	return RunContext(context.Background(), g, job, cfg)
+}
+
+// RunContext is Run with cooperative cancellation: ctx (and
+// Config.Deadline, when set) is checked at every superstep barrier; a
+// superstep in progress is never interrupted mid-phase.
+func RunContext(ctx context.Context, g *graph.Directed, job Job, cfg Config) (Stats, error) {
 	cfg = cfg.withDefaults()
+	if cfg.Deadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, cfg.Deadline)
+		defer cancel()
+	}
+	e := newEngine(g, job, cfg)
+	err := e.loop(ctx)
+	// Partial results: report the master's recorded return value even
+	// when the run aborted.
+	e.stats.ReturnedIsSet = e.retSet
+	e.stats.ReturnedIsInt = e.retIsInt
+	e.stats.ReturnedInt = e.retInt
+	e.stats.ReturnedFloat = e.retFloat
+	return e.stats, err
+}
+
+func newEngine(g *graph.Directed, job Job, cfg Config) *engine {
 	e := &engine{g: g, job: job, cfg: cfg, schema: job.Schema()}
 	e.numWorkers = cfg.NumWorkers
 	if n := g.NumNodes(); e.numWorkers > n && n > 0 {
@@ -301,11 +373,17 @@ func Run(g *graph.Directed, job Job, cfg Config) (Stats, error) {
 	}
 	e.globals = make([]uint64, len(e.schema.Globals))
 	e.aggValues = make([]aggCell, len(e.schema.Aggregators))
-	e.masterRand = rand.New(rand.NewSource(cfg.Seed))
+	e.masterSrc = newCountingSource(cfg.Seed)
+	e.masterRand = rand.New(e.masterSrc)
+	e.ckptOn = cfg.CheckpointEvery > 0 || len(cfg.Faults) > 0
+	e.faults = make([]faultState, len(cfg.Faults))
+	for i, f := range cfg.Faults {
+		e.faults[i] = faultState{Fault: f}
+	}
 
 	e.workers = make([]*worker, e.numWorkers)
 	for w := 0; w < e.numWorkers; w++ {
-		wk := &worker{e: e, index: w, local: make(map[graph.NodeID]int)}
+		wk := &worker{e: e, index: w, local: make(map[graph.NodeID]int), faultAt: -1}
 		for v := graph.NodeID(w); int(v) < g.NumNodes(); v += graph.NodeID(e.numWorkers) {
 			wk.local[v] = len(wk.ids)
 			wk.ids = append(wk.ids, v)
@@ -317,21 +395,34 @@ func Run(g *graph.Directed, job Job, cfg Config) (Stats, error) {
 		wk.inOff = make([]int32, len(wk.ids)+1)
 		wk.outboxes = make([][]Msg, e.numWorkers)
 		wk.aggLocal = make([]aggCell, len(e.schema.Aggregators))
-		wk.rng = rand.New(rand.NewSource(cfg.Seed*7919 + int64(w) + 1))
+		wk.rngSrc = newCountingSource(cfg.Seed*7919 + int64(w) + 1)
+		wk.rng = rand.New(wk.rngSrc)
 		e.workers[w] = wk
 	}
+	return e
+}
 
-	for step := 0; ; step++ {
-		if step >= cfg.MaxSupersteps {
-			return e.stats, fmt.Errorf("pregel: exceeded %d supersteps", cfg.MaxSupersteps)
+func (e *engine) loop(ctx context.Context) error {
+	for step := 0; ; {
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("pregel: run canceled at superstep %d: %w", step, err)
+		}
+		if step >= e.cfg.MaxSupersteps {
+			return fmt.Errorf("pregel: exceeded %d supersteps", e.cfg.MaxSupersteps)
+		}
+		if e.checkpointDue(step) {
+			e.takeCheckpoint(step)
 		}
 		// Master phase: sees aggregator values contributed last superstep.
-		mc := &MasterContext{e: e, superstep: step}
-		e.job.MasterCompute(mc)
-		if e.halted {
-			break
+		halted, err := e.masterPhase(step)
+		if err != nil {
+			return err
+		}
+		if halted {
+			return nil
 		}
 		// Vertex phase.
+		e.armVertexFault(step)
 		var wg sync.WaitGroup
 		for _, wk := range e.workers {
 			wg.Add(1)
@@ -341,10 +432,27 @@ func Run(g *graph.Directed, job Job, cfg Config) (Stats, error) {
 			}(wk)
 		}
 		wg.Wait()
+		var crashed *InjectedFault
 		for _, wk := range e.workers {
-			if wk.err != nil {
-				return e.stats, wk.err
+			wk.faultAt = -1
+			if wk.err == nil {
+				continue
 			}
+			var inj *InjectedFault
+			if errors.As(wk.err, &inj) {
+				crashed = inj
+				wk.err = nil
+				continue
+			}
+			return wk.err
+		}
+		if crashed != nil {
+			resume, err := e.rollback(crashed)
+			if err != nil {
+				return err
+			}
+			step = resume
+			continue
 		}
 		e.stats.Supersteps++
 		// Merge counters and aggregators; route messages. Aggregators
@@ -378,10 +486,18 @@ func Run(g *graph.Directed, job Job, cfg Config) (Stats, error) {
 		}
 		e.stats.ControlBytes += e.globalBytes
 		e.globalBytes = 0
-		if cfg.TraceSteps {
+		if e.cfg.TraceSteps {
 			e.stats.Steps = append(e.stats.Steps, StepStats{stepMsgs, stepNet, stepCalls})
 		}
 
+		if f := e.armRoutingFault(step); f != nil {
+			resume, err := e.rollback(f)
+			if err != nil {
+				return err
+			}
+			step = resume
+			continue
+		}
 		anyMsgs := e.routeMessages()
 		anyActive := false
 		for _, wk := range e.workers {
@@ -396,14 +512,24 @@ func Run(g *graph.Directed, job Job, cfg Config) (Stats, error) {
 			}
 		}
 		if !anyMsgs && !anyActive {
-			break
+			return nil
 		}
+		step++
 	}
-	e.stats.ReturnedIsSet = e.retSet
-	e.stats.ReturnedIsInt = e.retIsInt
-	e.stats.ReturnedInt = e.retInt
-	e.stats.ReturnedFloat = e.retFloat
-	return e.stats, nil
+}
+
+// masterPhase runs master.compute for step, converting a panic into an
+// error so a faulty master cannot crash the process (the vertex phase
+// has the same protection in runStep).
+func (e *engine) masterPhase(step int) (halted bool, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("pregel: master compute panicked at superstep %d: %v", step, r)
+		}
+	}()
+	mc := &MasterContext{e: e, superstep: step}
+	e.job.MasterCompute(mc)
+	return e.halted, nil
 }
 
 // routeMessages moves every worker's outboxes into destination workers'
@@ -477,6 +603,12 @@ func (wk *worker) runStep(step int) {
 	}()
 	vc := VertexContext{wk: wk, superstep: step}
 	for li, v := range wk.ids {
+		if wk.faultAt >= 0 && li == wk.faultAt {
+			// Injected crash mid-phase: job state and outboxes stay
+			// partially mutated; rollback undoes the damage.
+			wk.err = &InjectedFault{Superstep: step, Worker: wk.index, Phase: FaultVertexCompute}
+			return
+		}
 		hasMsgs := wk.inOff[li+1] > wk.inOff[li]
 		if !wk.active[li] && !hasMsgs {
 			continue
@@ -487,6 +619,11 @@ func (wk *worker) runStep(step int) {
 		vc.msgs = wk.inFlat[wk.inOff[li]:wk.inOff[li+1]]
 		wk.calls++
 		wk.e.job.VertexCompute(&vc)
+	}
+	if wk.faultAt >= len(wk.ids) {
+		// Armed on a worker owning too few vertices: crash at phase end.
+		wk.err = &InjectedFault{Superstep: step, Worker: wk.index, Phase: FaultVertexCompute}
+		return
 	}
 	// Consume this step's inbox.
 	wk.inFlat = wk.inFlat[:0]

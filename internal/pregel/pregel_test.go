@@ -1,9 +1,12 @@
 package pregel
 
 import (
+	"context"
+	"encoding/binary"
 	"sync"
 	"testing"
 	"testing/quick"
+	"time"
 
 	"gmpregel/internal/graph"
 	"gmpregel/internal/graph/gen"
@@ -46,6 +49,22 @@ func (j *minLabelJob) VertexCompute(vc *VertexContext) {
 		vc.SendToAllNbrs(m)
 	}
 	vc.VoteToHalt()
+}
+
+// SnapshotState/RestoreState make minLabelJob recoverable, so the fault
+// injection tests can reuse it.
+func (j *minLabelJob) SnapshotState() []byte {
+	b := make([]byte, 8*len(j.label))
+	for i, v := range j.label {
+		binary.LittleEndian.PutUint64(b[8*i:], uint64(v))
+	}
+	return b
+}
+
+func (j *minLabelJob) RestoreState(b []byte) {
+	for i := range j.label {
+		j.label[i] = int64(binary.LittleEndian.Uint64(b[8*i:]))
+	}
 }
 
 func TestMinLabelPropagation(t *testing.T) {
@@ -284,6 +303,87 @@ func (panicJob) VertexCompute(vc *VertexContext) { panic("boom") }
 func TestVertexPanicBecomesError(t *testing.T) {
 	if _, err := Run(gen.Ring(4), panicJob{}, Config{NumWorkers: 2}); err == nil {
 		t.Fatal("want error from panicking vertex, got nil")
+	}
+}
+
+type masterPanicJob struct{}
+
+func (masterPanicJob) Schema() Schema                  { return Schema{} }
+func (masterPanicJob) MasterCompute(mc *MasterContext) { panic("master boom") }
+func (masterPanicJob) VertexCompute(vc *VertexContext) {}
+
+func TestMasterPanicBecomesError(t *testing.T) {
+	if _, err := Run(gen.Ring(4), masterPanicJob{}, Config{NumWorkers: 2}); err == nil {
+		t.Fatal("want error from panicking master, got nil")
+	}
+}
+
+// pickJob records PickRandomNode's answer on an arbitrary graph.
+type pickJob struct{ picked graph.NodeID }
+
+func (j *pickJob) Schema() Schema { return Schema{} }
+func (j *pickJob) MasterCompute(mc *MasterContext) {
+	j.picked = mc.PickRandomNode()
+	mc.Halt()
+}
+func (j *pickJob) VertexCompute(vc *VertexContext) {}
+
+func TestPickRandomNodeEmptyGraph(t *testing.T) {
+	j := &pickJob{}
+	if _, err := Run(graph.FromEdges(0, nil), j, Config{NumWorkers: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if j.picked != graph.NilNode {
+		t.Errorf("PickRandomNode on empty graph = %d, want NilNode", j.picked)
+	}
+}
+
+// partialReturnJob records a return value early but never halts, so the
+// run aborts on MaxSupersteps.
+type partialReturnJob struct{}
+
+func (partialReturnJob) Schema() Schema { return Schema{} }
+func (partialReturnJob) MasterCompute(mc *MasterContext) {
+	if mc.Superstep() == 0 {
+		mc.ReturnInt(42)
+	}
+}
+func (partialReturnJob) VertexCompute(vc *VertexContext) {} // stays active forever
+
+func TestAbortPopulatesPartialReturn(t *testing.T) {
+	st, err := Run(gen.Ring(4), partialReturnJob{}, Config{NumWorkers: 2, MaxSupersteps: 5})
+	if err == nil {
+		t.Fatal("want max-supersteps error, got nil")
+	}
+	if !st.ReturnedIsSet || !st.ReturnedIsInt || st.ReturnedInt != 42 {
+		t.Errorf("aborted run lost the partial return value: %+v", st)
+	}
+	if st.Supersteps == 0 {
+		t.Errorf("aborted run reported no supersteps: %+v", st)
+	}
+}
+
+type sleepyJob struct{}
+
+func (sleepyJob) Schema() Schema                  { return Schema{} }
+func (sleepyJob) MasterCompute(mc *MasterContext) {}
+func (sleepyJob) VertexCompute(vc *VertexContext) { time.Sleep(time.Millisecond) }
+
+func TestDeadlineAbortsRun(t *testing.T) {
+	st, err := Run(gen.Ring(4), sleepyJob{}, Config{NumWorkers: 2, Deadline: 30 * time.Millisecond})
+	if err == nil {
+		t.Fatal("want deadline error, got nil")
+	}
+	if st.Supersteps == 0 {
+		t.Error("deadline fired before any superstep completed")
+	}
+}
+
+func TestContextCancelAbortsRun(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := RunContext(ctx, gen.Ring(4), sleepyJob{}, Config{NumWorkers: 2}); err == nil {
+		t.Fatal("want cancellation error, got nil")
 	}
 }
 
