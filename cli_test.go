@@ -121,4 +121,50 @@ func TestCLITools(t *testing.T) {
 	if !strings.Contains(out, "generated GPS") {
 		t.Errorf("gmbench table 2 output: %s", out)
 	}
+
+	// gmbench observability: -json puts a machine-readable report on
+	// stdout, -metrics writes Prometheus exposition, -trace streams
+	// JSONL spans (the activity mode guarantees engine runs).
+	cmd := exec.Command(gmbench, "-activity", "-table", "1", "-scale", "1", "-trials", "1",
+		"-json", "-metrics", "-trace")
+	cmd.Dir = bin
+	stdout, err := cmd.Output()
+	if err != nil {
+		t.Fatalf("gmbench -json -metrics -trace: %v", err)
+	}
+	var benchRep struct {
+		Meta     map[string]any   `json:"meta"`
+		Table1   []map[string]any `json:"table1"`
+		Activity map[string]any   `json:"activity"`
+		Skew     map[string]any   `json:"skew"`
+	}
+	if err := json.Unmarshal(stdout, &benchRep); err != nil {
+		t.Fatalf("gmbench -json stdout does not parse: %v\n%s", err, stdout)
+	}
+	if len(benchRep.Table1) != 3 || benchRep.Activity == nil || benchRep.Skew == nil {
+		t.Errorf("gmbench JSON report incomplete: %s", stdout)
+	}
+	prom, err := os.ReadFile(filepath.Join(bin, "gmbench.metrics.prom"))
+	if err != nil {
+		t.Fatalf("metrics file: %v", err)
+	}
+	for _, want := range []string{"# TYPE pregel_supersteps_total counter", "# TYPE gmbench_mode_seconds histogram"} {
+		if !strings.Contains(string(prom), want) {
+			t.Errorf("metrics exposition missing %q:\n%s", want, prom)
+		}
+	}
+	traceData, err := os.ReadFile(filepath.Join(bin, "gmbench.trace.jsonl"))
+	if err != nil {
+		t.Fatalf("trace file: %v", err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(traceData)), "\n")
+	if len(lines) < 10 {
+		t.Fatalf("trace has only %d spans", len(lines))
+	}
+	var span struct {
+		Phase string `json:"phase"`
+	}
+	if err := json.Unmarshal([]byte(lines[0]), &span); err != nil || span.Phase == "" {
+		t.Errorf("trace line does not parse as a span: %v\n%s", err, lines[0])
+	}
 }

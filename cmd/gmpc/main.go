@@ -20,6 +20,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 
 	"gmpregel"
@@ -44,6 +45,7 @@ func main() {
 		run        = flag.Bool("run", false, "run the program on a generated twitter-like graph")
 		runNodes   = flag.Int("run-nodes", 10000, "graph size for -run")
 		workers    = flag.Int("workers", 4, "engine workers for -run")
+		httpAddr   = flag.String("http", "", "with -run: serve /metrics, /healthz, /run, /debug/pprof on this address during the run")
 	)
 	flag.Parse()
 
@@ -121,7 +123,7 @@ func main() {
 		fmt.Printf("wrote compiled artifact to %s\n", *emit)
 	}
 	if *run {
-		runIt(prog, *builtin, *runNodes, *workers)
+		runIt(prog, *builtin, *runNodes, *workers, *httpAddr)
 	}
 }
 
@@ -146,14 +148,27 @@ func analyzeOnly(src, format string, werror bool) {
 	}
 }
 
-func runIt(prog *gmpregel.Compiled, builtin string, n, workers int) {
+func runIt(prog *gmpregel.Compiled, builtin string, n, workers int, httpAddr string) {
 	if builtin == "" {
 		fatalf("-run requires -builtin (the harness knows the built-in algorithms' inputs)")
+	}
+	cfg := pregel.Config{NumWorkers: workers, Seed: 7}
+	if httpAddr != "" {
+		// Live introspection (plus pprof) while the run is in flight.
+		reg := gmpregel.NewMetricsRegistry()
+		live := gmpregel.NewLiveObserver()
+		cfg.Observer = gmpregel.MultiObserver(gmpregel.NewMetricsObserver(reg), live)
+		go func() {
+			if err := http.ListenAndServe(httpAddr, gmpregel.ObsHandler(reg, live)); err != nil {
+				fmt.Fprintf(os.Stderr, "gmpc: http: %v\n", err)
+			}
+		}()
+		fmt.Printf("serving introspection on http://%s\n", httpAddr)
 	}
 	g := gmpregel.TwitterLikeGraph(n, 16, 1)
 	in := bench.MakeInputs(g, n/2, 7)
 	p := bench.DefaultParams()
-	out, err := bench.RunGenerated(builtin, g, in, p, pregel.Config{NumWorkers: workers, Seed: 7}, 1)
+	out, err := bench.RunGenerated(builtin, g, in, p, cfg, 1)
 	if err != nil {
 		fatalf("run: %v", err)
 	}

@@ -28,6 +28,7 @@ package gmpregel
 import (
 	"context"
 	"io"
+	"net/http"
 	"os"
 
 	"gmpregel/internal/codegen"
@@ -36,6 +37,7 @@ import (
 	"gmpregel/internal/graph"
 	"gmpregel/internal/graph/gen"
 	"gmpregel/internal/machine"
+	"gmpregel/internal/obs"
 	"gmpregel/internal/pregel"
 )
 
@@ -77,6 +79,80 @@ const (
 	FaultVertexCompute = pregel.FaultVertexCompute
 	FaultRouting       = pregel.FaultRouting
 )
+
+// ---- Observability ----
+//
+// Set Config.Observer to receive a structured trace of every engine
+// phase; see docs/OBSERVABILITY.md. With no observer configured the
+// engine takes no timestamps.
+
+// Observer receives trace spans from an engine run (Config.Observer).
+type Observer = obs.Observer
+
+// Span is one traced engine phase (superstep, worker, phase, wall time,
+// message/byte/call attribution).
+type Span = obs.Span
+
+// TracePhase identifies which engine phase a span covers.
+type TracePhase = obs.Phase
+
+// Trace phases, in superstep order; PhaseRun is the final run-scoped
+// span carrying the authoritative totals.
+const (
+	PhaseMaster        = obs.PhaseMaster
+	PhaseVertexCompute = obs.PhaseVertexCompute
+	PhaseRouting       = obs.PhaseRouting
+	PhaseBarrier       = obs.PhaseBarrier
+	PhaseCheckpoint    = obs.PhaseCheckpoint
+	PhaseRecovery      = obs.PhaseRecovery
+	PhaseRun           = obs.PhaseRun
+)
+
+// TraceRing is a bounded in-memory span buffer observer.
+type TraceRing = obs.Ring
+
+// NewTraceRing creates an observer retaining the newest capacity spans.
+func NewTraceRing(capacity int) *TraceRing { return obs.NewRing(capacity) }
+
+// NewTraceWriter creates an observer streaming spans as JSON lines to w.
+func NewTraceWriter(w io.Writer) *obs.JSONL { return obs.NewJSONL(w) }
+
+// ReadTrace parses a JSONL trace stream written by NewTraceWriter.
+func ReadTrace(r io.Reader) ([]Span, error) { return obs.ReadJSONL(r) }
+
+// MultiObserver fans spans out to several observers (nils are dropped).
+func MultiObserver(observers ...Observer) Observer { return obs.Multi(observers...) }
+
+// MetricsRegistry holds counters, gauges, and histograms with
+// Prometheus text, plain text, and JSON renderings.
+type MetricsRegistry = obs.Registry
+
+// NewMetricsRegistry creates an empty metrics registry.
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
+
+// NewMetricsObserver registers the engine metric families on reg and
+// returns an observer feeding them from trace spans.
+func NewMetricsObserver(reg *MetricsRegistry) Observer { return obs.NewMetricsObserver(reg) }
+
+// LiveObserver maintains a live snapshot of a run in flight, served by
+// ObsHandler's /run endpoint.
+type LiveObserver = obs.Live
+
+// NewLiveObserver creates a live-snapshot observer.
+func NewLiveObserver() *LiveObserver { return obs.NewLive() }
+
+// ObsHandler serves /metrics (Prometheus exposition), /metrics.json,
+// /healthz, /run, and /debug/pprof/*; reg and live may be nil.
+func ObsHandler(reg *MetricsRegistry, live *LiveObserver) http.Handler {
+	return obs.Handler(reg, live)
+}
+
+// SkewReport summarizes per-phase worker imbalance from a span trace.
+type SkewReport = obs.SkewReport
+
+// TraceSkew computes the worker-skew report (max/median worker time per
+// phase) from a span trace.
+func TraceSkew(spans []Span) *SkewReport { return obs.Skew(spans) }
 
 // Diagnostic is one static-analysis finding (code, severity, position,
 // message, optional fix hint).

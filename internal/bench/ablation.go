@@ -37,7 +37,7 @@ func Ablation(w io.Writer, scale, workers, trials int, seed int64) ([]AblationRo
 	g := spec.Build(scale)
 	in := MakeInputs(g, g.NumNodes()/2, seed+7)
 	p := DefaultParams()
-	cfg := pregel.Config{NumWorkers: workers, Seed: seed}
+	cfg := engineConfig(workers, seed)
 
 	modes := []struct {
 		name     string

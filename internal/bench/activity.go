@@ -33,7 +33,8 @@ func SSSPActivity(w io.Writer, scale, workers int, seed int64) (*ActivityProfile
 	}
 	g := spec.Build(scale)
 	in := MakeInputs(g, 0, seed+7)
-	cfg := pregel.Config{NumWorkers: workers, Seed: seed, TraceSteps: true}
+	cfg := engineConfig(workers, seed)
+	cfg.TraceSteps = true
 
 	job := &manual.SSSP{Root: in.Root, Len: in.EdgeLen, Dist: make([]int64, g.NumNodes())}
 	st, err := pregel.Run(g, job, cfg)

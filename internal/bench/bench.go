@@ -13,7 +13,25 @@ import (
 
 	"gmpregel/internal/graph"
 	"gmpregel/internal/graph/gen"
+	"gmpregel/internal/obs"
+	"gmpregel/internal/pregel"
 )
+
+// observer, when set, is attached to every engine run the harness
+// performs (all tables, figures, and experiments).
+var observer obs.Observer
+
+// SetObserver attaches o to every subsequent engine run the harness
+// performs; pass nil to detach. Timing-sensitive comparisons stay valid
+// because every run in a harness invocation carries the same observer
+// (or none).
+func SetObserver(o obs.Observer) { observer = o }
+
+// engineConfig is the single place harness code builds a pregel.Config,
+// so the observer reaches every run.
+func engineConfig(workers int, seed int64) pregel.Config {
+	return pregel.Config{NumWorkers: workers, Seed: seed, Observer: observer}
+}
 
 // GraphSpec describes one evaluation input graph, a scaled-down
 // structural stand-in for the paper's Table 1 datasets.

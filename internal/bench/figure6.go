@@ -188,7 +188,7 @@ func Fig6Pairs() [][2]string {
 // Figure6 runs every pair and writes the figure's data table.
 func Figure6(w io.Writer, scale, workers, trials int, seed int64) ([]Fig6Row, error) {
 	p := DefaultParams()
-	cfg := pregel.Config{NumWorkers: workers, Seed: seed}
+	cfg := engineConfig(workers, seed)
 	var rows []Fig6Row
 	graphs := map[string]*graph.Directed{}
 	inputs := map[string]*Inputs{}

@@ -1,0 +1,154 @@
+package bench
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"strings"
+	"testing"
+
+	"gmpregel/internal/obs"
+)
+
+// The acceptance-criteria scenario: a multi-worker SSSP run with the
+// full observer stack attached — ring (skew report), JSONL stream, and
+// metrics registry — produces a skew report covering every worker, a
+// parseable trace, and valid Prometheus exposition.
+func TestHarnessObservabilitySSSP(t *testing.T) {
+	const workers = 4
+	ring := obs.NewRing(1 << 16)
+	var traceBuf bytes.Buffer
+	jsonl := obs.NewJSONL(&traceBuf)
+	reg := obs.NewRegistry()
+	SetObserver(obs.Multi(ring, jsonl, obs.NewMetricsObserver(reg)))
+	defer SetObserver(nil)
+
+	spec, err := GraphByName("twitter")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := spec.Build(smallScale)
+	in := MakeInputs(g, 0, 8)
+	out, err := RunGenerated("sssp", g, in, DefaultParams(), engineConfig(workers, 1), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Stats.Supersteps == 0 {
+		t.Fatal("sssp did not run")
+	}
+	spans := ring.Spans()
+	if ring.Dropped() != 0 {
+		t.Fatalf("ring dropped %d spans", ring.Dropped())
+	}
+
+	// Skew report: the vertex-compute row sees all four workers, and
+	// max >= median by construction.
+	rep := obs.Skew(spans)
+	row, ok := rep.Row("vertex-compute")
+	if !ok {
+		t.Fatal("skew report has no vertex-compute row")
+	}
+	if row.Workers != workers {
+		t.Errorf("skew row covers %d workers, want %d", row.Workers, workers)
+	}
+	if row.MaxNS < row.MedianNS || row.Skew < 1 {
+		t.Errorf("skew row inconsistent: %+v", row)
+	}
+	if row.MaxWorker < 0 || row.MaxWorker >= workers {
+		t.Errorf("straggler index %d out of range", row.MaxWorker)
+	}
+	if !strings.Contains(rep.String(), "vertex-compute") {
+		t.Error("rendered skew report missing vertex-compute row")
+	}
+
+	// The machine executor labels spans with state-machine state names.
+	labeled := 0
+	for _, s := range spans {
+		if s.Phase == obs.PhaseVertexCompute && s.State != "" {
+			labeled++
+		}
+	}
+	if labeled == 0 {
+		t.Error("no vertex-compute span carries a state-machine label")
+	}
+
+	// The JSONL stream parses back to exactly the ring's spans.
+	if err := jsonl.Err(); err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := obs.ReadJSONL(bytes.NewReader(traceBuf.Bytes()))
+	if err != nil {
+		t.Fatalf("trace stream does not parse: %v", err)
+	}
+	if len(decoded) != len(spans) {
+		t.Errorf("JSONL has %d spans, ring has %d", len(decoded), len(spans))
+	}
+
+	// Metrics: valid Prometheus exposition with the engine families, and
+	// the superstep counter agrees with the run's stats.
+	var prom bytes.Buffer
+	if err := reg.WritePrometheus(&prom); err != nil {
+		t.Fatal(err)
+	}
+	exp := prom.String()
+	for _, want := range []string{
+		"# TYPE pregel_phase_seconds histogram",
+		"# TYPE pregel_supersteps_total counter",
+		fmt.Sprintf("pregel_supersteps_total %d", out.Stats.Supersteps),
+		fmt.Sprintf("pregel_messages_total %d", out.Stats.MessagesSent),
+		`pregel_phase_seconds_bucket{le="+Inf",phase="vertex-compute"}`,
+	} {
+		if !strings.Contains(exp, want) {
+			t.Errorf("exposition missing %q:\n%s", want, exp)
+		}
+	}
+}
+
+// SetObserver(nil) detaches cleanly: the next run carries no observer.
+func TestSetObserverNilDetaches(t *testing.T) {
+	ring := obs.NewRing(16)
+	SetObserver(ring)
+	SetObserver(nil)
+	spec, err := GraphByName("twitter")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := spec.Build(smallScale)
+	in := MakeInputs(g, 0, 8)
+	if _, err := RunGenerated("sssp", g, in, DefaultParams(), engineConfig(2, 1), 1); err != nil {
+		t.Fatal(err)
+	}
+	if len(ring.Spans()) != 0 {
+		t.Errorf("detached observer still received %d spans", len(ring.Spans()))
+	}
+}
+
+// The JSON report marshals every section it holds.
+func TestReportJSON(t *testing.T) {
+	t1, err := Table1(io.Discard, smallScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	traces, err := Table3(io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t3, err := NewTable3Summary(traces)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := &Report{Meta: Meta{Scale: smallScale, Workers: 2, Trials: 1, Seed: 1}, Table1: t1, Table3: t3}
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{`"table1"`, `"table3"`, `"twitter"`, `"warning_free"`, `"scale"`} {
+		if !strings.Contains(out, want) {
+			t.Errorf("JSON report missing %s:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, `"figure6"`) {
+		t.Error("empty sections should be omitted")
+	}
+}

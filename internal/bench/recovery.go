@@ -118,7 +118,7 @@ func RecoveryTable(w io.Writer, scale, workers, trials int, seed int64, ckptEver
 	g := spec.Build(scale)
 	in := MakeInputs(g, 0, seed+7)
 	p := DefaultParams()
-	base := pregel.Config{NumWorkers: workers, Seed: seed}
+	base := engineConfig(workers, seed)
 
 	intervals := RecoveryIntervals()
 	if ckptEvery > 0 {

@@ -9,20 +9,25 @@ import (
 	"gmpregel/internal/core"
 	"gmpregel/internal/graph"
 	"gmpregel/internal/machine"
-	"gmpregel/internal/pregel"
 	"gmpregel/internal/seq"
 )
 
+// Table1Row is one evaluation graph with its computed statistics.
+type Table1Row struct {
+	Name string `json:"name"`
+	graph.Stats
+}
+
 // Table1 generates the evaluation graphs and prints their sizes next to
 // the paper's original datasets.
-func Table1(w io.Writer, scale int) ([]graph.Stats, error) {
+func Table1(w io.Writer, scale int) ([]Table1Row, error) {
 	fmt.Fprintf(w, "Table 1: input graphs (scaled stand-ins; paper originals in parentheses)\n")
 	fmt.Fprintf(w, "%-10s %10s %12s %8s %10s  %s\n", "name", "nodes", "edges", "maxdeg", "avgdeg", "description")
-	var out []graph.Stats
+	var out []Table1Row
 	for _, spec := range Graphs() {
 		g := spec.Build(scale)
 		st := graph.ComputeStats(g)
-		out = append(out, st)
+		out = append(out, Table1Row{Name: spec.Name, Stats: st})
 		fmt.Fprintf(w, "%-10s %10d %12d %8d %10.1f  %s (paper: %s nodes / %s edges)\n",
 			spec.Name, st.Nodes, st.Edges, st.MaxOutDeg, st.AvgOutDeg, spec.Description, spec.PaperNodes, spec.PaperEdges)
 	}
@@ -157,7 +162,7 @@ func BCExperiment(w io.Writer, scale, workers int, seed int64) (*BCReport, error
 	}
 	g := spec.Build(scale)
 	p := DefaultParams()
-	cfg := pregel.Config{NumWorkers: workers, Seed: seed}
+	cfg := engineConfig(workers, seed)
 	res, err := machine.Run(c.Program, g, bindingsFor("bc", nil, p), cfg)
 	if err != nil {
 		return nil, err

@@ -263,6 +263,21 @@ func (ex *exec) Schema() pregel.Schema {
 	return s
 }
 
+// PhaseLabel implements pregel.PhaseLabeler: the engine attaches the
+// name of the vertex state picked by the master for the current
+// superstep to that superstep's trace spans, so traces read in terms of
+// the compiled state machine ("bfs_fw", "pagerank_iter") rather than
+// anonymous superstep numbers.
+func (ex *exec) PhaseLabel() string {
+	if ex.state < 0 || ex.state >= len(ex.p.Nodes) {
+		return ""
+	}
+	if vs := ex.p.Nodes[ex.state].Vertex; vs != nil {
+		return vs.Name
+	}
+	return ""
+}
+
 // maxMasterChain bounds sequential master work per superstep, guarding
 // against non-terminating sequential loops.
 const maxMasterChain = 50_000_000

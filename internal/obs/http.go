@@ -1,0 +1,56 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// Handler builds the introspection endpoint:
+//
+//	/metrics        Prometheus text exposition of reg
+//	/metrics.json   JSON rendering of reg
+//	/healthz        liveness: {"status":"ok","uptime_ns":...}
+//	/run            live run snapshot from live (404 when live is nil)
+//	/debug/pprof/*  the standard Go profiler endpoints
+//
+// reg may be nil (then /metrics serves an empty registry). The handler
+// is safe to serve while runs are in flight: instruments are atomic and
+// Live is locked.
+func Handler(reg *Registry, live *Live) http.Handler {
+	if reg == nil {
+		reg = NewRegistry()
+	}
+	start := time.Now()
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = reg.WritePrometheus(w)
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = reg.WriteJSON(w)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(map[string]any{
+			"status":    "ok",
+			"uptime_ns": time.Since(start).Nanoseconds(),
+		})
+	})
+	mux.HandleFunc("/run", func(w http.ResponseWriter, r *http.Request) {
+		if live == nil {
+			http.Error(w, "no live observer attached", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(live.Snapshot())
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

@@ -1,0 +1,70 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestHandlerEndpoints(t *testing.T) {
+	reg := NewRegistry()
+	NewMetricsObserver(reg).ObserveSpan(Span{Phase: PhaseVertexCompute, Worker: 0, DurNS: 1000, Messages: 5, Bytes: 60, VertexCalls: 2})
+	live := NewLive()
+	live.ObserveSpan(Span{Superstep: 3, Phase: PhaseBarrier, Worker: -1, DurNS: 10})
+	srv := httptest.NewServer(Handler(reg, live))
+	defer srv.Close()
+
+	get := func(path string) (int, string, string) {
+		resp, err := srv.Client().Get(srv.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(b), resp.Header.Get("Content-Type")
+	}
+
+	code, body, ctype := get("/metrics")
+	if code != 200 || !strings.Contains(ctype, "version=0.0.4") {
+		t.Errorf("/metrics: code=%d content-type=%q", code, ctype)
+	}
+	for _, want := range []string{"# TYPE pregel_phase_seconds histogram", "pregel_messages_total 5"} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q:\n%s", want, body)
+		}
+	}
+
+	code, body, _ = get("/healthz")
+	var health map[string]any
+	if code != 200 || json.Unmarshal([]byte(body), &health) != nil || health["status"] != "ok" {
+		t.Errorf("/healthz: code=%d body=%q", code, body)
+	}
+
+	code, body, _ = get("/run")
+	var snap RunSnapshot
+	if code != 200 || json.Unmarshal([]byte(body), &snap) != nil {
+		t.Fatalf("/run: code=%d body=%q", code, body)
+	}
+	if snap.Superstep != 3 || snap.Phase != "barrier" || snap.Spans != 1 {
+		t.Errorf("/run snapshot = %+v", snap)
+	}
+
+	code, body, _ = get("/debug/pprof/cmdline")
+	if code != 200 || body == "" {
+		t.Errorf("/debug/pprof/cmdline: code=%d", code)
+	}
+
+	// Without a live observer, /run 404s but everything else works.
+	bare := httptest.NewServer(Handler(nil, nil))
+	defer bare.Close()
+	resp, err := bare.Client().Get(bare.URL + "/run")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 404 {
+		t.Errorf("/run without live observer: code=%d, want 404", resp.StatusCode)
+	}
+}

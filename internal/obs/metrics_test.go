@@ -1,0 +1,189 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("jobs_total", "jobs", L("kind", "a"))
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Errorf("counter = %d, want 5", c.Value())
+	}
+	// Re-registration returns the same series.
+	if reg.Counter("jobs_total", "jobs", L("kind", "a")).Value() != 5 {
+		t.Error("re-registration did not return the same series")
+	}
+	// A different label set is a different series.
+	if reg.Counter("jobs_total", "jobs", L("kind", "b")).Value() != 0 {
+		t.Error("label sets are not independent")
+	}
+
+	g := reg.Gauge("depth", "queue depth")
+	g.Set(2.5)
+	g.Add(-1)
+	if g.Value() != 1.5 {
+		t.Errorf("gauge = %v, want 1.5", g.Value())
+	}
+
+	defer func() {
+		if recover() == nil {
+			t.Error("counter decrease should panic")
+		}
+	}()
+	c.Add(-1)
+}
+
+func TestTypeMismatchPanics(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("x_total", "")
+	defer func() {
+		if recover() == nil {
+			t.Error("re-registering a counter as a gauge should panic")
+		}
+	}()
+	reg.Gauge("x_total", "")
+}
+
+func TestInvalidNamePanics(t *testing.T) {
+	reg := NewRegistry()
+	for _, bad := range []string{"", "9lives", "has space", "dash-ed"} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("name %q should be rejected", bad)
+				}
+			}()
+			reg.Counter(bad, "")
+		}()
+	}
+}
+
+func TestHistogramBucketsAndExposition(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("latency_seconds", "op latency", []float64{0.01, 0.1, 1})
+	for _, v := range []float64{0.005, 0.05, 0.5, 5} {
+		h.Observe(v)
+	}
+	if h.Count() != 4 {
+		t.Errorf("count = %d, want 4", h.Count())
+	}
+	if got := h.Sum(); got < 5.5 || got > 5.6 {
+		t.Errorf("sum = %v, want 5.555", got)
+	}
+
+	var b bytes.Buffer
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE latency_seconds histogram",
+		`latency_seconds_bucket{le="0.01"} 1`,
+		`latency_seconds_bucket{le="0.1"} 2`,
+		`latency_seconds_bucket{le="1"} 3`,
+		`latency_seconds_bucket{le="+Inf"} 4`,
+		"latency_seconds_count 4",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestPrometheusExpositionShape(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("a_total", "things", L("q", `tricky"label\with`+"\n")).Add(3)
+	reg.Gauge("b", "level").Set(0.25)
+	var b bytes.Buffer
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# HELP a_total things",
+		"# TYPE a_total counter",
+		`a_total{q="tricky\"label\\with\n"} 3`,
+		"# TYPE b gauge",
+		"b 0.25",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// Every non-comment line is "name{labels} value".
+	for _, line := range strings.Split(strings.TrimSpace(out), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		if fields := strings.Fields(line); len(fields) != 2 {
+			t.Errorf("malformed exposition line %q", line)
+		}
+	}
+}
+
+func TestWriteJSONValid(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("c_total", "c").Inc()
+	reg.Histogram("h", "h", []float64{1, 2}).Observe(1.5)
+	var b bytes.Buffer
+	if err := reg.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Metrics []struct {
+			Name   string `json:"name"`
+			Type   string `json:"type"`
+			Series []json.RawMessage
+		} `json:"metrics"`
+	}
+	if err := json.Unmarshal(b.Bytes(), &doc); err != nil {
+		t.Fatalf("WriteJSON output does not parse: %v\n%s", err, b.String())
+	}
+	if len(doc.Metrics) != 2 {
+		t.Errorf("got %d families, want 2", len(doc.Metrics))
+	}
+}
+
+func TestHotPathAllocationFree(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("n_total", "")
+	g := reg.Gauge("g", "")
+	h := reg.Histogram("h_seconds", "", DurationBuckets())
+	if n := testing.AllocsPerRun(100, func() { c.Inc(); c.Add(2) }); n != 0 {
+		t.Errorf("counter hot path allocates %v/op", n)
+	}
+	if n := testing.AllocsPerRun(100, func() { g.Set(1); g.Add(0.5) }); n != 0 {
+		t.Errorf("gauge hot path allocates %v/op", n)
+	}
+	if n := testing.AllocsPerRun(100, func() { h.Observe(0.001) }); n != 0 {
+		t.Errorf("histogram hot path allocates %v/op", n)
+	}
+}
+
+func TestConcurrentInstruments(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("p_seconds", "", nil)
+	c := reg.Counter("p_total", "")
+	done := make(chan struct{})
+	for i := 0; i < 4; i++ {
+		go func() {
+			for j := 0; j < 1000; j++ {
+				h.Observe(0.01)
+				c.Inc()
+			}
+			done <- struct{}{}
+		}()
+	}
+	for i := 0; i < 4; i++ {
+		<-done
+	}
+	if c.Value() != 4000 || h.Count() != 4000 {
+		t.Errorf("lost updates: counter=%d histogram=%d", c.Value(), h.Count())
+	}
+}

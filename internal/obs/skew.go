@@ -1,0 +1,124 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// PhaseSkew is one row of a SkewReport: the wall-time distribution of
+// one phase across the workers (or engine-scoped spans) that ran it.
+type PhaseSkew struct {
+	Phase   string `json:"phase"`
+	Spans   int    `json:"spans"`
+	TotalNS int64  `json:"total_ns"`
+	// Workers is the number of distinct span scopes (worker indexes,
+	// counting the engine scope -1 as one) contributing to the phase.
+	Workers   int     `json:"workers"`
+	MaxNS     int64   `json:"max_ns"`
+	MedianNS  int64   `json:"median_ns"`
+	MaxWorker int     `json:"max_worker"`
+	Skew      float64 `json:"skew"` // MaxNS / MedianNS; 1.0 means perfectly balanced
+}
+
+// SkewReport summarizes per-phase load imbalance derived from a trace:
+// for each phase, the total time, and the max and median of per-worker
+// time totals. A vertex-compute skew well above 1 is the signature of a
+// hot partition (e.g. a preferential-attachment hub).
+type SkewReport struct {
+	Phases []PhaseSkew `json:"phases"`
+}
+
+// Skew derives a SkewReport from spans (any order). Per-worker time is
+// totalled across supersteps before the max/median are taken, so the
+// report reflects whole-run imbalance rather than per-step noise.
+func Skew(spans []Span) *SkewReport {
+	type key struct {
+		phase  Phase
+		worker int
+	}
+	totals := map[key]int64{}
+	counts := map[Phase]int{}
+	for _, s := range spans {
+		if s.Phase == PhaseRun {
+			continue
+		}
+		totals[key{s.Phase, s.Worker}] += s.DurNS
+		counts[s.Phase]++
+	}
+	rep := &SkewReport{}
+	for p := PhaseMaster; p < PhaseRun; p++ {
+		if counts[p] == 0 {
+			continue
+		}
+		var durs []int64
+		var workers []int
+		for k, d := range totals {
+			if k.phase == p {
+				durs = append(durs, d)
+				workers = append(workers, k.worker)
+			}
+		}
+		sort.Sort(&byDur{durs, workers})
+		row := PhaseSkew{
+			Phase:     p.String(),
+			Spans:     counts[p],
+			Workers:   len(durs),
+			MaxNS:     durs[len(durs)-1],
+			MaxWorker: workers[len(durs)-1],
+			MedianNS:  durs[len(durs)/2],
+		}
+		for _, d := range durs {
+			row.TotalNS += d
+		}
+		if row.MedianNS > 0 {
+			row.Skew = float64(row.MaxNS) / float64(row.MedianNS)
+		}
+		rep.Phases = append(rep.Phases, row)
+	}
+	return rep
+}
+
+type byDur struct {
+	durs    []int64
+	workers []int
+}
+
+func (b *byDur) Len() int { return len(b.durs) }
+func (b *byDur) Less(i, j int) bool {
+	if b.durs[i] != b.durs[j] {
+		return b.durs[i] < b.durs[j]
+	}
+	return b.workers[i] < b.workers[j]
+}
+func (b *byDur) Swap(i, j int) {
+	b.durs[i], b.durs[j] = b.durs[j], b.durs[i]
+	b.workers[i], b.workers[j] = b.workers[j], b.workers[i]
+}
+
+// Row returns the row for the named phase, if present.
+func (r *SkewReport) Row(phase string) (PhaseSkew, bool) {
+	for _, p := range r.Phases {
+		if p.Phase == phase {
+			return p, true
+		}
+	}
+	return PhaseSkew{}, false
+}
+
+// String renders the report as an aligned table.
+func (r *SkewReport) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-15s %7s %8s %12s %12s %12s %6s\n",
+		"phase", "spans", "workers", "total", "max", "median", "skew")
+	for _, p := range r.Phases {
+		fmt.Fprintf(&b, "%-15s %7d %8d %12s %12s %12s %6.2f\n",
+			p.Phase, p.Spans, p.Workers,
+			time.Duration(p.TotalNS).Round(time.Microsecond),
+			time.Duration(p.MaxNS).Round(time.Microsecond),
+			time.Duration(p.MedianNS).Round(time.Microsecond),
+			p.Skew)
+	}
+	return b.String()
+}

@@ -1,0 +1,128 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestPhaseJSONRoundTrip(t *testing.T) {
+	for p := PhaseMaster; p <= PhaseRun; p++ {
+		b, err := json.Marshal(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back Phase
+		if err := json.Unmarshal(b, &back); err != nil {
+			t.Fatalf("unmarshal %s: %v", b, err)
+		}
+		if back != p {
+			t.Errorf("phase %v round-tripped to %v", p, back)
+		}
+	}
+	var p Phase
+	if err := json.Unmarshal([]byte(`"bogus"`), &p); err == nil {
+		t.Error("unknown phase name should fail to parse")
+	}
+}
+
+func TestRingRetainsNewest(t *testing.T) {
+	r := NewRing(3)
+	for i := 0; i < 5; i++ {
+		r.ObserveSpan(Span{Superstep: i})
+	}
+	spans := r.Spans()
+	if len(spans) != 3 {
+		t.Fatalf("len = %d, want 3", len(spans))
+	}
+	for i, s := range spans {
+		if s.Superstep != i+2 {
+			t.Errorf("span %d has superstep %d, want %d", i, s.Superstep, i+2)
+		}
+	}
+	if r.Dropped() != 2 {
+		t.Errorf("dropped = %d, want 2", r.Dropped())
+	}
+}
+
+func TestJSONLRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	j := NewJSONL(&buf)
+	want := []Span{
+		{Superstep: 0, Worker: -1, Phase: PhaseMaster, StartNS: 1, DurNS: 2},
+		{Superstep: 0, Worker: 1, Phase: PhaseVertexCompute, State: "bfs_fw", Messages: 7, Bytes: 84, VertexCalls: 3},
+		{Superstep: 1, Worker: -1, Phase: PhaseRun, DurNS: 100},
+	}
+	for _, s := range want {
+		j.ObserveSpan(s)
+	}
+	if err := j.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if lines := strings.Count(buf.String(), "\n"); lines != len(want) {
+		t.Errorf("got %d lines, want %d", lines, len(want))
+	}
+	got, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("round trip mismatch:\ngot:  %+v\nwant: %+v", got, want)
+	}
+}
+
+func TestMultiFansOutAndDropsNil(t *testing.T) {
+	a, b := NewRing(8), NewRing(8)
+	m := Multi(nil, a, nil, b)
+	m.ObserveSpan(Span{Superstep: 4})
+	if len(a.Spans()) != 1 || len(b.Spans()) != 1 {
+		t.Error("span not fanned out to all observers")
+	}
+	if Multi() != nil || Multi(nil, nil) != nil {
+		t.Error("Multi of no live observers should be nil")
+	}
+	if Multi(a) != Observer(a) {
+		t.Error("Multi of one observer should return it unwrapped")
+	}
+}
+
+func TestSkewReport(t *testing.T) {
+	var spans []Span
+	// Three workers, two supersteps; worker 2 is the straggler.
+	for step := 0; step < 2; step++ {
+		spans = append(spans,
+			Span{Superstep: step, Worker: -1, Phase: PhaseMaster, DurNS: 10},
+			Span{Superstep: step, Worker: 0, Phase: PhaseVertexCompute, DurNS: 100},
+			Span{Superstep: step, Worker: 1, Phase: PhaseVertexCompute, DurNS: 120},
+			Span{Superstep: step, Worker: 2, Phase: PhaseVertexCompute, DurNS: 600},
+			Span{Superstep: step, Worker: -1, Phase: PhaseBarrier, DurNS: 5},
+		)
+	}
+	spans = append(spans, Span{Worker: -1, Phase: PhaseRun, DurNS: 2000})
+
+	rep := Skew(spans)
+	row, ok := rep.Row("vertex-compute")
+	if !ok {
+		t.Fatal("no vertex-compute row")
+	}
+	if row.Workers != 3 || row.Spans != 6 {
+		t.Errorf("workers=%d spans=%d, want 3/6", row.Workers, row.Spans)
+	}
+	if row.MaxNS != 1200 || row.MaxWorker != 2 {
+		t.Errorf("max=%d worker=%d, want 1200 on worker 2", row.MaxNS, row.MaxWorker)
+	}
+	if row.MedianNS != 240 {
+		t.Errorf("median=%d, want 240", row.MedianNS)
+	}
+	if row.Skew != 5 {
+		t.Errorf("skew=%v, want 5", row.Skew)
+	}
+	if _, ok := rep.Row("run"); ok {
+		t.Error("run span should be excluded from the skew report")
+	}
+	if !strings.Contains(rep.String(), "vertex-compute") {
+		t.Error("String() missing vertex-compute row")
+	}
+}

@@ -149,7 +149,11 @@ func (e *engine) restoreCheckpoint() (err error) {
 // Outboxes, combiner indexes, and per-step counters are always empty at
 // a barrier and are reset on restore rather than stored.
 
-const checkpointVersion = 1
+// checkpointVersion is bumped whenever the serialized layout changes;
+// decodeState rejects any other version rather than misreading bytes.
+// History: v1 encoded three per-step counters; v2 extends StepStats to
+// six (adds NetworkMsgs, LocalBytes, ControlBytes).
+const checkpointVersion = 2
 
 type stateEnc struct{ b []byte }
 
@@ -218,6 +222,9 @@ func (e *engine) encodeState() []byte {
 		w.i64(s.Messages)
 		w.i64(s.NetworkBytes)
 		w.i64(s.VertexCalls)
+		w.i64(s.NetworkMsgs)
+		w.i64(s.LocalBytes)
+		w.i64(s.ControlBytes)
 	}
 	w.u32(uint32(len(e.workers)))
 	for _, wk := range e.workers {
@@ -287,7 +294,14 @@ func (e *engine) decodeState(data []byte) error {
 	if n := int(r.u32()); n > 0 {
 		e.stats.Steps = make([]StepStats, n)
 		for i := range e.stats.Steps {
-			e.stats.Steps[i] = StepStats{Messages: r.i64(), NetworkBytes: r.i64(), VertexCalls: r.i64()}
+			e.stats.Steps[i] = StepStats{
+				Messages:     r.i64(),
+				NetworkBytes: r.i64(),
+				VertexCalls:  r.i64(),
+				NetworkMsgs:  r.i64(),
+				LocalBytes:   r.i64(),
+				ControlBytes: r.i64(),
+			}
 		}
 	}
 	if n := int(r.u32()); n != len(e.workers) {

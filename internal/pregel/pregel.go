@@ -27,6 +27,7 @@ import (
 	"time"
 
 	"gmpregel/internal/graph"
+	"gmpregel/internal/obs"
 )
 
 // MaxPayloadSlots is the number of 64-bit payload slots in a Msg.
@@ -168,6 +169,13 @@ type Config struct {
 	// superstep barrier (a superstep in progress is not interrupted);
 	// 0 means no deadline.
 	Deadline time.Duration
+	// Observer, when non-nil, receives a structured trace of the run: one
+	// span per engine phase (master, per-worker vertex compute, barrier,
+	// routing, checkpoint, recovery) plus a final run-scoped span carrying
+	// the authoritative totals. Spans are emitted from the barrier
+	// goroutine, never concurrently. When nil the engine takes no
+	// timestamps and the hot path is identical to an unobserved run.
+	Observer obs.Observer
 }
 
 func (c Config) withDefaults() Config {
@@ -183,11 +191,26 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// StepStats records one superstep's traffic.
+// StepStats records one superstep's traffic. Every field is a
+// deterministic counter — no wall times — so a crash-and-recover run
+// reproduces the fault-free Steps slice bit for bit (timing lives in the
+// Observer trace, which keeps rolled-back work visible instead).
 type StepStats struct {
 	Messages     int64
 	NetworkBytes int64
 	VertexCalls  int64
+	NetworkMsgs  int64
+	LocalBytes   int64
+	ControlBytes int64
+}
+
+// PhaseLabeler is optionally implemented by jobs that know which logical
+// state a superstep executes (the machine executor reports the compiled
+// state-machine state picked by master.compute). The engine queries it
+// after the master phase and attaches the label to that superstep's
+// master and vertex-compute spans.
+type PhaseLabeler interface {
+	PhaseLabel() string
 }
 
 // Stats summarizes a run. NetworkBytes counts serialized bytes of
@@ -298,8 +321,21 @@ type engine struct {
 	ckpt   *checkpoint
 	faults []faultState
 
+	// Observability. obsOn caches cfg.Observer != nil so the hot path
+	// tests a bool, not an interface; runStart anchors span timestamps.
+	obsOn    bool
+	runStart time.Time
+
 	stats Stats
 }
+
+// nowNS returns nanoseconds since the run started (span timebase).
+func (e *engine) nowNS() int64 { return time.Since(e.runStart).Nanoseconds() }
+
+// emit forwards a span to the configured observer. Only called when
+// obsOn; all call sites run on the barrier goroutine, so observers never
+// see concurrent calls.
+func (e *engine) emit(s obs.Span) { e.cfg.Observer.ObserveSpan(s) }
 
 // worker owns the vertices v with v % numWorkers == index.
 type worker struct {
@@ -322,6 +358,10 @@ type worker struct {
 
 	// per-step counters (merged under the barrier)
 	msgs, netMsgs, netBytes, localBytes, calls int64
+
+	// span timing for the last vertex phase, relative to engine.runStart;
+	// written only when the engine has an observer.
+	stepStartNS, stepDurNS int64
 
 	err error
 	// faultAt is the local vertex index at which an armed injected fault
@@ -359,6 +399,19 @@ func RunContext(ctx context.Context, g *graph.Directed, job Job, cfg Config) (St
 	e.stats.ReturnedIsInt = e.retIsInt
 	e.stats.ReturnedInt = e.retInt
 	e.stats.ReturnedFloat = e.retFloat
+	if e.obsOn {
+		// Run-scoped span with the authoritative totals; emitted even on
+		// abort so observers can close out partial runs.
+		e.emit(obs.Span{
+			Superstep:   e.stats.Supersteps,
+			Worker:      -1,
+			Phase:       obs.PhaseRun,
+			DurNS:       e.nowNS(),
+			Messages:    e.stats.MessagesSent,
+			Bytes:       e.stats.NetworkBytes,
+			VertexCalls: e.stats.VertexCalls,
+		})
+	}
 	return e.stats, err
 }
 
@@ -376,6 +429,10 @@ func newEngine(g *graph.Directed, job Job, cfg Config) *engine {
 	e.masterSrc = newCountingSource(cfg.Seed)
 	e.masterRand = rand.New(e.masterSrc)
 	e.ckptOn = cfg.CheckpointEvery > 0 || len(cfg.Faults) > 0
+	e.obsOn = cfg.Observer != nil
+	if e.obsOn {
+		e.runStart = time.Now()
+	}
 	e.faults = make([]faultState, len(cfg.Faults))
 	for i, f := range cfg.Faults {
 		e.faults[i] = faultState{Fault: f}
@@ -411,12 +468,34 @@ func (e *engine) loop(ctx context.Context) error {
 			return fmt.Errorf("pregel: exceeded %d supersteps", e.cfg.MaxSupersteps)
 		}
 		if e.checkpointDue(step) {
-			e.takeCheckpoint(step)
+			if e.obsOn {
+				t0 := e.nowNS()
+				before := e.stats.CheckpointBytes
+				e.takeCheckpoint(step)
+				e.emit(obs.Span{Superstep: step, Worker: -1, Phase: obs.PhaseCheckpoint,
+					StartNS: t0, DurNS: e.nowNS() - t0, Bytes: e.stats.CheckpointBytes - before})
+			} else {
+				e.takeCheckpoint(step)
+			}
 		}
 		// Master phase: sees aggregator values contributed last superstep.
+		var masterT0 int64
+		if e.obsOn {
+			masterT0 = e.nowNS()
+		}
 		halted, err := e.masterPhase(step)
 		if err != nil {
 			return err
+		}
+		// The state label is queried after the master phase because the
+		// machine executor's master picks the superstep's state there.
+		var stateLabel string
+		if e.obsOn {
+			if pl, ok := e.job.(PhaseLabeler); ok {
+				stateLabel = pl.PhaseLabel()
+			}
+			e.emit(obs.Span{Superstep: step, Worker: -1, Phase: obs.PhaseMaster,
+				State: stateLabel, StartNS: masterT0, DurNS: e.nowNS() - masterT0})
 		}
 		if halted {
 			return nil
@@ -432,6 +511,16 @@ func (e *engine) loop(ctx context.Context) error {
 			}(wk)
 		}
 		wg.Wait()
+		if e.obsOn {
+			// One span per worker, emitted even for a superstep that is
+			// about to roll back: the trace keeps failed work visible
+			// while Stats rewinds.
+			for _, wk := range e.workers {
+				e.emit(obs.Span{Superstep: step, Worker: wk.index, Phase: obs.PhaseVertexCompute,
+					State: stateLabel, StartNS: wk.stepStartNS, DurNS: wk.stepDurNS,
+					Messages: wk.msgs, Bytes: wk.netBytes, VertexCalls: wk.calls})
+			}
+		}
 		var crashed *InjectedFault
 		for _, wk := range e.workers {
 			wk.faultAt = -1
@@ -447,12 +536,16 @@ func (e *engine) loop(ctx context.Context) error {
 			return wk.err
 		}
 		if crashed != nil {
-			resume, err := e.rollback(crashed)
+			resume, err := e.recoverFrom(crashed, step)
 			if err != nil {
 				return err
 			}
 			step = resume
 			continue
+		}
+		var barrierT0 int64
+		if e.obsOn {
+			barrierT0 = e.nowNS()
 		}
 		e.stats.Supersteps++
 		// Merge counters and aggregators; route messages. Aggregators
@@ -461,11 +554,13 @@ func (e *engine) loop(ctx context.Context) error {
 		for s := range e.aggValues {
 			e.aggValues[s] = aggCell{}
 		}
-		var stepMsgs, stepNet, stepCalls int64
+		var stepMsgs, stepNet, stepCalls, stepNetMsgs, stepLocal int64
 		for _, wk := range e.workers {
 			stepMsgs += wk.msgs
 			stepNet += wk.netBytes
 			stepCalls += wk.calls
+			stepNetMsgs += wk.netMsgs
+			stepLocal += wk.localBytes
 			e.stats.MessagesSent += wk.msgs
 			e.stats.NetworkMsgs += wk.netMsgs
 			e.stats.NetworkBytes += wk.netBytes
@@ -479,26 +574,47 @@ func (e *engine) loop(ctx context.Context) error {
 		}
 		// Aggregator control traffic: one value per set aggregator per
 		// non-master worker.
+		var stepCtl int64
 		for s := range e.aggValues {
 			if e.aggValues[s].set {
-				e.stats.ControlBytes += int64(8 * (e.numWorkers - 1))
+				stepCtl += int64(8 * (e.numWorkers - 1))
 			}
 		}
-		e.stats.ControlBytes += e.globalBytes
+		stepCtl += e.globalBytes
+		e.stats.ControlBytes += stepCtl
 		e.globalBytes = 0
 		if e.cfg.TraceSteps {
-			e.stats.Steps = append(e.stats.Steps, StepStats{stepMsgs, stepNet, stepCalls})
+			e.stats.Steps = append(e.stats.Steps, StepStats{
+				Messages:     stepMsgs,
+				NetworkBytes: stepNet,
+				VertexCalls:  stepCalls,
+				NetworkMsgs:  stepNetMsgs,
+				LocalBytes:   stepLocal,
+				ControlBytes: stepCtl,
+			})
+		}
+		if e.obsOn {
+			e.emit(obs.Span{Superstep: step, Worker: -1, Phase: obs.PhaseBarrier,
+				StartNS: barrierT0, DurNS: e.nowNS() - barrierT0})
 		}
 
 		if f := e.armRoutingFault(step); f != nil {
-			resume, err := e.rollback(f)
+			resume, err := e.recoverFrom(f, step)
 			if err != nil {
 				return err
 			}
 			step = resume
 			continue
 		}
+		var routeT0 int64
+		if e.obsOn {
+			routeT0 = e.nowNS()
+		}
 		anyMsgs := e.routeMessages()
+		if e.obsOn {
+			e.emit(obs.Span{Superstep: step, Worker: -1, Phase: obs.PhaseRouting,
+				StartNS: routeT0, DurNS: e.nowNS() - routeT0})
+		}
 		anyActive := false
 		for _, wk := range e.workers {
 			for _, a := range wk.active {
@@ -516,6 +632,19 @@ func (e *engine) loop(ctx context.Context) error {
 		}
 		step++
 	}
+}
+
+// recoverFrom wraps rollback with trace emission: a recovery span
+// covering the restore, attributed to the superstep that failed.
+func (e *engine) recoverFrom(f *InjectedFault, step int) (int, error) {
+	if !e.obsOn {
+		return e.rollback(f)
+	}
+	t0 := e.nowNS()
+	resume, err := e.rollback(f)
+	e.emit(obs.Span{Superstep: step, Worker: f.Worker, Phase: obs.PhaseRecovery,
+		StartNS: t0, DurNS: e.nowNS() - t0})
+	return resume, err
 }
 
 // masterPhase runs master.compute for step, converting a panic into an
@@ -601,6 +730,10 @@ func (wk *worker) runStep(step int) {
 			wk.err = fmt.Errorf("pregel: vertex compute panicked on worker %d: %v", wk.index, r)
 		}
 	}()
+	if wk.e.obsOn {
+		wk.stepStartNS = wk.e.nowNS()
+		defer func() { wk.stepDurNS = wk.e.nowNS() - wk.stepStartNS }()
+	}
 	vc := VertexContext{wk: wk, superstep: step}
 	for li, v := range wk.ids {
 		if wk.faultAt >= 0 && li == wk.faultAt {
