@@ -19,7 +19,10 @@
 // Observability:
 //
 //	-json          emit a machine-readable report on stdout (tables move
-//	               to stderr so stdout stays parseable)
+//	               to stderr so stdout stays parseable); Figure 6 rows
+//	               carry per-run ns_per_superstep and
+//	               allocs_per_superstep rates for tracking the engine's
+//	               hot-path cost over time
 //	-trace         stream engine trace spans as JSONL (-trace-out,
 //	               default gmbench.trace.jsonl) and print a worker-skew
 //	               report

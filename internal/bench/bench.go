@@ -9,6 +9,7 @@ package bench
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
 	"time"
 
 	"gmpregel/internal/graph"
@@ -136,17 +137,36 @@ func MakeInputs(g *graph.Directed, boys int, seed int64) *Inputs {
 
 // timeRun measures fn's wall time, returning the minimum over trials.
 func timeRun(trials int, fn func() error) (time.Duration, error) {
+	d, _, err := timeAndAllocRun(trials, fn)
+	return d, err
+}
+
+// timeAndAllocRun measures fn's wall time and heap allocation count
+// (runtime mallocs, all goroutines), returning the minimum of each over
+// trials. The alloc floor is what the zero-allocation superstep work
+// tracks: for an engine run it converges to per-run setup cost, with no
+// per-superstep component.
+func timeAndAllocRun(trials int, fn func() error) (time.Duration, uint64, error) {
 	best := time.Duration(1<<63 - 1)
+	bestAllocs := ^uint64(0)
+	var ms runtime.MemStats
 	for i := 0; i < trials; i++ {
+		runtime.ReadMemStats(&ms)
+		before := ms.Mallocs
 		start := time.Now()
 		if err := fn(); err != nil {
-			return 0, err
+			return 0, 0, err
 		}
-		if d := time.Since(start); d < best {
+		d := time.Since(start)
+		runtime.ReadMemStats(&ms)
+		if d < best {
 			best = d
 		}
+		if a := ms.Mallocs - before; a < bestAllocs {
+			bestAllocs = a
+		}
 	}
-	return best, nil
+	return best, bestAllocs, nil
 }
 
 // masterRand mirrors the engine's master RNG construction so harness

@@ -133,6 +133,18 @@ func TestFigure6SmallScale(t *testing.T) {
 			t.Errorf("%s/%s: superstep mismatch: generated %d vs manual %d",
 				r.Algorithm, r.Graph, r.Generated.Stats.Supersteps, r.Manual.Stats.Supersteps)
 		}
+		// The per-superstep rates in the machine-readable report must be
+		// populated (every pair runs at least one superstep).
+		for side, o := range map[string]Outcome{"manual": r.Manual, "generated": r.Generated} {
+			if o.NsPerSuperstep <= 0 {
+				t.Errorf("%s/%s %s: NsPerSuperstep = %d, want > 0",
+					r.Algorithm, r.Graph, side, o.NsPerSuperstep)
+			}
+			if o.AllocsPerSuperstep < 0 {
+				t.Errorf("%s/%s %s: AllocsPerSuperstep = %v, want >= 0",
+					r.Algorithm, r.Graph, side, o.AllocsPerSuperstep)
+			}
+		}
 	}
 }
 

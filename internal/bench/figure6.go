@@ -36,10 +36,26 @@ func DefaultParams() Params {
 	}
 }
 
-// Outcome is one measured run.
+// Outcome is one measured run. NsPerSuperstep divides the best trial's
+// wall time by the superstep count; AllocsPerSuperstep divides the best
+// trial's heap-allocation count the same way (per-run setup included,
+// so it bounds — and in steady state approaches — the engine's
+// per-superstep allocation bill, which PR 4 drove to zero).
 type Outcome struct {
-	Elapsed time.Duration
-	Stats   pregel.Stats
+	Elapsed            time.Duration
+	Stats              pregel.Stats
+	NsPerSuperstep     int64   `json:"ns_per_superstep"`
+	AllocsPerSuperstep float64 `json:"allocs_per_superstep"`
+}
+
+// newOutcome derives the per-superstep rates from one measured run.
+func newOutcome(d time.Duration, allocs uint64, st pregel.Stats) Outcome {
+	o := Outcome{Elapsed: d, Stats: st}
+	if st.Supersteps > 0 {
+		o.NsPerSuperstep = d.Nanoseconds() / int64(st.Supersteps)
+		o.AllocsPerSuperstep = float64(allocs) / float64(st.Supersteps)
+	}
+	return o
 }
 
 // RunGenerated compiles (or reuses) the named algorithm and executes the
@@ -51,7 +67,7 @@ func RunGenerated(name string, g *graph.Directed, in *Inputs, p Params, cfg preg
 	}
 	b := bindingsFor(name, in, p)
 	var last *machine.Result
-	d, err := timeRun(trials, func() error {
+	d, allocs, err := timeAndAllocRun(trials, func() error {
 		res, err := machine.Run(c.Program, g, b, cfg)
 		if err != nil {
 			return err
@@ -62,7 +78,7 @@ func RunGenerated(name string, g *graph.Directed, in *Inputs, p Params, cfg preg
 	if err != nil {
 		return Outcome{}, err
 	}
-	return Outcome{Elapsed: d, Stats: last.Stats}, nil
+	return newOutcome(d, allocs, last.Stats), nil
 }
 
 var compiledCache = map[string]*core.Compiled{}
@@ -148,7 +164,7 @@ func RunManual(name string, g *graph.Directed, in *Inputs, p Params, cfg pregel.
 		return Outcome{}, fmt.Errorf("bench: no manual implementation of %q (the paper has none either)", name)
 	}
 	var last pregel.Stats
-	d, err := timeRun(trials, func() error {
+	d, allocs, err := timeAndAllocRun(trials, func() error {
 		st, err := pregel.Run(g, newJob(), cfg)
 		if err != nil {
 			return err
@@ -159,7 +175,7 @@ func RunManual(name string, g *graph.Directed, in *Inputs, p Params, cfg pregel.
 	if err != nil {
 		return Outcome{}, err
 	}
-	return Outcome{Elapsed: d, Stats: last}, nil
+	return newOutcome(d, allocs, last), nil
 }
 
 // Fig6Row is one bar of Figure 6 plus the §5.2 timestep / network-I/O

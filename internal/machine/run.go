@@ -208,9 +208,11 @@ type exec struct {
 
 	// compiled holds the closure-compiled body of each vertex state
 	// (indexed by CFG node); envs holds one reusable vertex environment
-	// per worker.
+	// per worker and menv the reusable master environment — neither is
+	// reallocated per superstep.
 	compiled [][]stmtFn
 	envs     []*vertexEnv
+	menv     masterEnv
 }
 
 // Schema declares the communication shape derived from the program.
@@ -284,7 +286,8 @@ const maxMasterChain = 50_000_000
 
 // MasterCompute walks master blocks until a vertex state or halt.
 func (ex *exec) MasterCompute(mc *pregel.MasterContext) {
-	env := &masterEnv{ex: ex, mc: mc}
+	ex.menv.ex, ex.menv.mc = ex, mc
+	env := &ex.menv
 	for iter := 0; ; iter++ {
 		if iter >= maxMasterChain {
 			panic("machine: master did not reach a vertex state (sequential loop does not terminate?)")

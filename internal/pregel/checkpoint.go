@@ -146,8 +146,10 @@ func (e *engine) restoreCheckpoint() (err error) {
 // master return/halt flags, the master RNG draw count, globals,
 // aggregator cells, the Stats counters a rollback must rewind, and per
 // worker the active flags, routed inbox (CSR), and RNG draw count.
-// Outboxes, combiner indexes, and per-step counters are always empty at
-// a barrier and are reset on restore rather than stored.
+// Outboxes, combiner indexes, and per-step counters are never stored:
+// at a checkpoint barrier their contents are either already routed into
+// the serialized inboxes or per-step transients, so restore just
+// truncates/clears them (capacity is retained for the replay).
 
 // checkpointVersion is bumped whenever the serialized layout changes;
 // decodeState rejects any other version rather than misreading bytes.
@@ -312,8 +314,12 @@ func (e *engine) decodeState(data []byte) error {
 		if n := int(r.u32()); n != len(wk.active) {
 			return fmt.Errorf("worker %d active-flag count mismatch", wk.index)
 		}
+		wk.numActive = 0
 		for i := range wk.active {
 			wk.active[i] = r.bool()
+			if wk.active[i] {
+				wk.numActive++
+			}
 		}
 		wk.inFlat = wk.inFlat[:0]
 		for i, n := 0, int(r.u32()); i < n; i++ {
@@ -331,11 +337,15 @@ func (e *engine) decodeState(data []byte) error {
 		for i := range wk.inOff {
 			wk.inOff[i] = int32(r.u32())
 		}
-		// Transients a crashed superstep may have dirtied.
+		wk.inTotal = len(wk.inFlat)
+		// Transients a crashed superstep may have dirtied. Outbox slices
+		// and the combiner index keep their capacity: replay reuses them.
 		for d := range wk.outboxes {
 			wk.outboxes[d] = wk.outboxes[d][:0]
 		}
-		wk.combineIdx = nil
+		if wk.combineIdx != nil {
+			clear(wk.combineIdx)
+		}
 		for s := range wk.aggLocal {
 			wk.aggLocal[s] = aggCell{}
 		}

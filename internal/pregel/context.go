@@ -144,15 +144,17 @@ func (vc *VertexContext) Send(dst graph.NodeID, m Msg) {
 
 // SendToAllNbrs sends a copy of m to every out-neighbor.
 func (vc *VertexContext) SendToAllNbrs(m Msg) {
-	for _, d := range vc.wk.e.g.OutNbrs(vc.id) {
-		m.Dst = d
-		vc.wk.send(vc.id, m)
-	}
+	vc.wk.sendToAll(vc.id, vc.wk.e.g.OutNbrs(vc.id), m)
 }
 
 // VoteToHalt deactivates this vertex; it is reactivated when a message
 // arrives.
-func (vc *VertexContext) VoteToHalt() { vc.wk.active[vc.local] = false }
+func (vc *VertexContext) VoteToHalt() {
+	if vc.wk.active[vc.local] {
+		vc.wk.active[vc.local] = false
+		vc.wk.numActive--
+	}
+}
 
 // GlobalInt reads an int global broadcast by the master this superstep.
 func (vc *VertexContext) GlobalInt(s int) int64 { return int64(vc.wk.e.globals[s]) }

@@ -236,6 +236,7 @@ func TestCheckpointStateRoundTrip(t *testing.T) {
 	j := &minLabelJob{label: make([]int64, n)}
 	cfg := Config{NumWorkers: 3, Seed: 4, TraceSteps: true, CheckpointEvery: 1}.withDefaults()
 	e := newEngine(g, j, cfg)
+	defer e.stop()
 	// Advance a few supersteps so there is nontrivial state to snapshot;
 	// the max-supersteps abort is the expected way out.
 	e.cfg.MaxSupersteps = 5

@@ -200,6 +200,7 @@ func TestCheckpointOldVersionRejected(t *testing.T) {
 	j := &minLabelJob{label: make([]int64, n)}
 	cfg := Config{NumWorkers: 3, Seed: 4, TraceSteps: true, CheckpointEvery: 1}.withDefaults()
 	e := newEngine(g, j, cfg)
+	defer e.stop()
 	e.cfg.MaxSupersteps = 5
 	if err := e.loop(context.Background()); err == nil {
 		t.Fatal("want max-supersteps error, got nil")

@@ -1,0 +1,358 @@
+package pregel
+
+// Steady-state performance regression tests for the superstep hot path:
+// the persistent worker pool must not spawn goroutines per superstep,
+// send and warm routing must not allocate, the arithmetic partition
+// indexing must agree with hardware division, and the incremental
+// active counters must track the active bitmaps exactly — including
+// through crash-recovery.
+
+import (
+	"context"
+	"reflect"
+	"runtime"
+	"testing"
+	"time"
+
+	"gmpregel/internal/graph"
+	"gmpregel/internal/graph/gen"
+)
+
+// perfRankJob is a PageRank-shaped job defined locally (in-package tests
+// cannot import internal/manual): every vertex sums its float messages
+// and re-broadcasts to all out-neighbors for a fixed number of
+// supersteps. Its compute functions allocate nothing, so any allocation
+// observed in a warm superstep belongs to the engine.
+type perfRankJob struct {
+	rank  []float64
+	steps int
+}
+
+func newPerfRankJob(n, steps int) *perfRankJob {
+	return &perfRankJob{rank: make([]float64, n), steps: steps}
+}
+
+func (j *perfRankJob) Schema() Schema {
+	return Schema{MessagePayloadBytes: []int{8}}
+}
+
+func (j *perfRankJob) MasterCompute(mc *MasterContext) {
+	if mc.Superstep() >= j.steps {
+		mc.Halt()
+	}
+}
+
+func (j *perfRankJob) VertexCompute(vc *VertexContext) {
+	sum := 0.0
+	for _, m := range vc.Messages() {
+		sum += m.Float(0)
+	}
+	id := int(vc.ID())
+	j.rank[id] = 0.15/float64(len(j.rank)) + 0.85*sum
+	if d := vc.OutDegree(); d > 0 {
+		var m Msg
+		m.SetFloat(0, j.rank[id]/float64(d))
+		vc.SendToAllNbrs(m)
+	}
+}
+
+// perfCombJob sends one combinable message per vertex to a single sink,
+// so post-combine MessagesSent is exactly numWorkers per superstep.
+type perfCombJob struct {
+	steps int
+}
+
+func (j *perfCombJob) Schema() Schema {
+	return Schema{
+		MessagePayloadBytes: []int{8},
+		Combiners: []Combiner{func(into *Msg, m Msg) {
+			into.SetFloat(0, into.Float(0)+m.Float(0))
+		}},
+	}
+}
+
+func (j *perfCombJob) MasterCompute(mc *MasterContext) {
+	if mc.Superstep() >= j.steps {
+		mc.Halt()
+	}
+}
+
+func (j *perfCombJob) VertexCompute(vc *VertexContext) {
+	var m Msg
+	m.SetFloat(0, 1)
+	vc.Send(0, m)
+}
+
+func TestFastDiv(t *testing.T) {
+	values := []uint32{0, 1, 2, 3, 6, 7, 8, 100, 1023, 1 << 16, 1<<31 - 1, 1 << 31, ^uint32(0)}
+	for d := uint32(1); d <= 64; d++ {
+		f := newFastDiv(d)
+		for _, x := range values {
+			if got, want := f.div(x), x/d; got != want {
+				t.Fatalf("fastDiv(%d).div(%d) = %d, want %d", d, x, got, want)
+			}
+			if got, want := f.mod(x), x%d; got != want {
+				t.Fatalf("fastDiv(%d).mod(%d) = %d, want %d", d, x, got, want)
+			}
+		}
+	}
+}
+
+// resetOutbound mimics the start of runStep: truncate the worker's
+// outboxes and clear (retain) its combiner index.
+func resetOutbound(wk *worker) {
+	for d := range wk.outboxes {
+		wk.outboxes[d] = wk.outboxes[d][:0]
+	}
+	if wk.combineIdx != nil {
+		clear(wk.combineIdx)
+	}
+}
+
+// Satellite: worker.send must be allocation-free in steady state, on
+// both the plain and the combiner path.
+func TestSendSteadyStateZeroAlloc(t *testing.T) {
+	const n = 64
+	g := gen.Ring(n)
+	run := func(t *testing.T, job Job) {
+		e := newEngine(g, job, Config{NumWorkers: 4, Seed: 1}.withDefaults())
+		defer e.stop()
+		wk := e.workers[0]
+		var m Msg
+		m.SetFloat(0, 1)
+		cycle := func() {
+			resetOutbound(wk)
+			for i := 0; i < n; i++ {
+				m.Dst = graph.NodeID(i)
+				wk.send(wk.ids[0], m)
+			}
+		}
+		cycle() // reach high-water outbox and index capacity
+		if a := testing.AllocsPerRun(20, cycle); a != 0 {
+			t.Fatalf("steady-state send allocates %v per superstep, want 0", a)
+		}
+	}
+	t.Run("plain", func(t *testing.T) { run(t, newPerfRankJob(n, 4)) })
+	t.Run("combined", func(t *testing.T) { run(t, &perfCombJob{steps: 4}) })
+}
+
+// Satellite: a warm superstep — vertex phase plus message routing on the
+// persistent pool — must allocate nothing. This also proves no
+// per-superstep goroutine creation: a spawned goroutine costs at least
+// one allocation, and this test demands zero.
+func TestWarmRoutingZeroAlloc(t *testing.T) {
+	const n = 256
+	g := gen.TwitterLike(n, 4, 3)
+	j := newPerfRankJob(n, 1<<20)
+	e := newEngine(g, j, Config{NumWorkers: 4, Seed: 1}.withDefaults())
+	defer e.stop()
+	step := 0
+	cycle := func() {
+		e.runPhase(phaseVertex, step)
+		e.routeMessages()
+		step++
+	}
+	for i := 0; i < 3; i++ {
+		cycle() // reach high-water inbox/outbox capacity
+	}
+	if a := testing.AllocsPerRun(10, cycle); a != 0 {
+		t.Fatalf("warm superstep allocates %v per run, want 0", a)
+	}
+	for _, wk := range e.workers {
+		if wk.err != nil {
+			t.Fatalf("worker %d failed: %v", wk.index, wk.err)
+		}
+	}
+}
+
+// Satellite: the combiner index map is cleared and retained across
+// supersteps (not re-allocated), and a multi-superstep combined run
+// keeps the post-combine Stats contract: one message per worker per
+// sending superstep, reproducibly.
+func TestCombinerIndexRetained(t *testing.T) {
+	const n, steps, workers = 40, 6, 4
+	g := gen.Ring(n)
+	runOnce := func() (Stats, *engine) {
+		j := &perfCombJob{steps: steps}
+		e := newEngine(g, j, Config{NumWorkers: workers, Seed: 3}.withDefaults())
+		defer e.stop()
+		if err := e.loop(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+		return e.stats, e
+	}
+	st1, e := runOnce()
+	st2, _ := runOnce()
+	if !reflect.DeepEqual(st1, st2) {
+		t.Fatalf("combined-run Stats not reproducible:\n%+v\n%+v", st1, st2)
+	}
+	// steps sending supersteps, each combining n sends into one message
+	// per worker.
+	if want := int64(steps * workers); st1.MessagesSent != want {
+		t.Fatalf("MessagesSent = %d, want %d (post-combine)", st1.MessagesSent, want)
+	}
+	for _, wk := range e.workers {
+		if wk.combineIdx == nil {
+			t.Fatalf("worker %d combiner index was nilled instead of retained", wk.index)
+		}
+	}
+}
+
+// Tentpole: worker goroutines are spawned once per run and shut down on
+// every exit path — repeated runs (including failed ones) must not leak.
+func TestWorkerPoolLifecycle(t *testing.T) {
+	g := gen.Ring(64)
+	before := runtime.NumGoroutine()
+	for i := 0; i < 5; i++ {
+		if _, err := Run(g, newPerfRankJob(64, 3), Config{NumWorkers: 8, Seed: 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// An error exit (recovery budget exhausted) must also stop the pool.
+	cfg := Config{NumWorkers: 8, Seed: 1, MaxRecoveries: 1, Faults: FaultPlan{
+		{Superstep: 1, Worker: 0, Phase: FaultVertexCompute},
+		{Superstep: 1, Worker: 0, Phase: FaultVertexCompute},
+	}}
+	if _, err := Run(g, newPerfRankJob(64, 3), cfg); err == nil {
+		t.Fatal("want recovery-budget error, got nil")
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > before {
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked: %d before, %d after", before, runtime.NumGoroutine())
+		}
+		runtime.Gosched()
+		time.Sleep(time.Millisecond)
+	}
+	// stop is idempotent: RunContext defers it after loop already exited.
+	e := newEngine(g, newPerfRankJob(64, 1), Config{NumWorkers: 2, Seed: 1}.withDefaults())
+	e.stop()
+	e.stop()
+}
+
+// Tentpole: the per-worker numActive counters that replaced the O(V)
+// termination scan must track the active bitmaps exactly, including
+// after voteToHalt/reactivation churn and through crash-recovery's
+// checkpoint decode path.
+func TestActiveCounterInvariant(t *testing.T) {
+	const n = 60
+	g := gen.TwitterLike(n, 4, 6)
+	check := func(t *testing.T, e *engine) {
+		t.Helper()
+		for _, wk := range e.workers {
+			count := 0
+			for _, a := range wk.active {
+				if a {
+					count++
+				}
+			}
+			if count != wk.numActive {
+				t.Errorf("worker %d: numActive = %d, bitmap has %d", wk.index, wk.numActive, count)
+			}
+		}
+	}
+	for _, w := range workerCounts() {
+		j := &minLabelJob{label: make([]int64, n)}
+		e := newEngine(g, j, Config{NumWorkers: w, Seed: 5}.withDefaults())
+		if err := e.loop(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+		check(t, e)
+		e.stop()
+	}
+	// Through recovery: a mid-run crash rolls back via decodeState, which
+	// must recompute the counters from the restored bitmap.
+	j := &minLabelJob{label: make([]int64, n)}
+	cfg := Config{NumWorkers: 3, Seed: 5, CheckpointEvery: 2, Faults: FaultPlan{
+		{Superstep: 3, Worker: 1, Phase: FaultVertexCompute},
+	}}.withDefaults()
+	e := newEngine(g, j, cfg)
+	defer e.stop()
+	if err := e.loop(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if e.stats.Recoveries != 1 {
+		t.Fatalf("Recoveries = %d, want 1", e.stats.Recoveries)
+	}
+	check(t, e)
+}
+
+// ---- Microbenchmarks (CI runs these with -benchtime 1x as a gate) ----
+
+// BenchmarkSuperstepPageRank measures one warm superstep — vertex phase
+// plus routing — of a PageRank-shaped job on the persistent pool.
+func BenchmarkSuperstepPageRank(b *testing.B) {
+	const n = 4096
+	g := gen.TwitterLike(n, 8, 3)
+	j := newPerfRankJob(n, 1<<30)
+	e := newEngine(g, j, Config{NumWorkers: 4, Seed: 1}.withDefaults())
+	defer e.stop()
+	step := 0
+	for i := 0; i < 3; i++ {
+		e.runPhase(phaseVertex, step)
+		e.routeMessages()
+		step++
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.runPhase(phaseVertex, step)
+		e.routeMessages()
+		step++
+	}
+}
+
+// BenchmarkRouting measures the routing phase alone: outboxes are
+// refilled outside the timer each iteration.
+func BenchmarkRouting(b *testing.B) {
+	const n = 4096
+	g := gen.TwitterLike(n, 8, 3)
+	j := newPerfRankJob(n, 1<<30)
+	e := newEngine(g, j, Config{NumWorkers: 4, Seed: 1}.withDefaults())
+	defer e.stop()
+	fill := func() {
+		var m Msg
+		m.SetFloat(0, 1)
+		for _, wk := range e.workers {
+			resetOutbound(wk)
+			for _, v := range wk.ids {
+				wk.sendToAll(v, g.OutNbrs(v), m)
+			}
+		}
+	}
+	fill()
+	e.routeMessages()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		fill()
+		b.StartTimer()
+		e.routeMessages()
+	}
+}
+
+// BenchmarkSendCombined measures the combiner send path: one combinable
+// message per vertex funneled to a single sink.
+func BenchmarkSendCombined(b *testing.B) {
+	const n = 4096
+	g := gen.Ring(n)
+	e := newEngine(g, &perfCombJob{steps: 1 << 30}, Config{NumWorkers: 4, Seed: 1}.withDefaults())
+	defer e.stop()
+	wk := e.workers[0]
+	var m Msg
+	m.SetFloat(0, 1)
+	cycle := func() {
+		resetOutbound(wk)
+		for i := 0; i < n; i++ {
+			m.Dst = graph.NodeID(i)
+			wk.send(wk.ids[0], m)
+		}
+	}
+	cycle()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cycle()
+	}
+}

@@ -8,9 +8,11 @@
 // superstep, a global-objects map for master→vertex broadcast, reduction
 // aggregators for vertex→master communication, and voteToHalt().
 //
-// Vertices are hash-partitioned (id mod W) across W workers, each a
-// goroutine. Messages between vertices on different workers are accounted
-// as network I/O at their serialized wire size; master broadcast and
+// Vertices are hash-partitioned (id mod W) across W persistent worker
+// goroutines, spawned once per run and parked on a reusable barrier
+// between phases (see docs/ENGINE.md, "Hot path and scheduling").
+// Messages between vertices on different workers are accounted as
+// network I/O at their serialized wire size; master broadcast and
 // aggregator traffic is accounted separately as control I/O. Runs are
 // deterministic for a fixed configuration and seed: inboxes are grouped
 // in source-worker order and each worker's RNG is seeded from Config.Seed.
@@ -21,6 +23,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"math/bits"
 	"math/rand"
 	"runtime"
 	"sync"
@@ -291,6 +294,49 @@ func (c *aggCell) merge(spec AggSpec, o aggCell) {
 	}
 }
 
+// fastDiv divides nonnegative 32-bit integers by a fixed divisor with a
+// Lemire-style multiply-high, replacing the hardware DIV/MOD that would
+// otherwise run once or twice per message in the hot paths (send picks
+// the owning worker with id mod W; routing recovers the local index with
+// id / W).
+type fastDiv struct {
+	m uint64 // ceil(2^64 / d); 0 means d == 1 (identity divide)
+	d uint32
+}
+
+func newFastDiv(d uint32) fastDiv {
+	if d <= 1 {
+		return fastDiv{d: 1}
+	}
+	return fastDiv{m: ^uint64(0)/uint64(d) + 1, d: d}
+}
+
+// div returns x / d.
+func (f fastDiv) div(x uint32) uint32 {
+	if f.m == 0 {
+		return x
+	}
+	hi, _ := bits.Mul64(f.m, uint64(x))
+	return uint32(hi)
+}
+
+// mod returns x % d.
+func (f fastDiv) mod(x uint32) uint32 { return x - f.div(x)*f.d }
+
+// phaseKind selects the work a parked pool worker runs on wake-up.
+type phaseKind uint8
+
+const (
+	phaseVertex phaseKind = iota // runStep(step)
+	phaseRoute                   // routeInbox()
+)
+
+// poolCmd is one barrier release: the phase to run and its superstep.
+type poolCmd struct {
+	kind phaseKind
+	step int
+}
+
 // engine holds one run's state.
 type engine struct {
 	g      *graph.Directed
@@ -300,8 +346,15 @@ type engine struct {
 
 	numWorkers int
 	msgTag     int // 1 if >1 message type, else 0
+	div        fastDiv
+	baseSize   int64   // wire bytes independent of payload: 4-byte dst + optional tag
+	msgSize    []int64 // full wire size per declared message type
 
 	workers []*worker
+	// phaseWG is the reusable barrier the master waits on after releasing
+	// the persistent workers into a phase.
+	phaseWG sync.WaitGroup
+	stopped bool
 
 	globals     []uint64
 	globalBytes int64 // accumulated control bytes from SetGlobal*
@@ -310,6 +363,7 @@ type engine struct {
 
 	masterSrc  *countingSource
 	masterRand *rand.Rand
+	mc         MasterContext // reused across supersteps (no per-step alloc)
 	halted     bool
 	retSet     bool
 	retIsInt   bool
@@ -337,24 +391,49 @@ func (e *engine) nowNS() int64 { return time.Since(e.runStart).Nanoseconds() }
 // see concurrent calls.
 func (e *engine) emit(s obs.Span) { e.cfg.Observer.ObserveSpan(s) }
 
-// worker owns the vertices v with v % numWorkers == index.
+// worker owns the vertices v with v % numWorkers == index. Under this
+// hash partitioning the owned IDs ascend with stride numWorkers, so the
+// local index of an owned vertex is pure arithmetic: local = id / W.
+// Every slice and map below is retained across supersteps — the
+// steady-state superstep allocates nothing.
 type worker struct {
 	e     *engine
 	index int
 	ids   []graph.NodeID // global IDs owned, ascending
-	local map[graph.NodeID]int
 
-	active   []bool
-	inFlat   []Msg
-	inOff    []int32 // CSR offsets into inFlat, len = len(ids)+1
-	outboxes [][]Msg // per destination worker
+	active []bool
+	// numActive counts true entries of active, maintained incrementally
+	// by runStep/VoteToHalt/routeInbox so the termination check is O(W)
+	// instead of O(V).
+	numActive int
+	inFlat    []Msg
+	inOff     []int32 // CSR offsets into inFlat, len = len(ids)+1
+	inTotal   int     // messages routed into inFlat by the last routing phase
+	outboxes  [][]Msg // per destination worker
 	// combineIdx maps (dst, type) to the pending outbox slot when the
-	// job registers combiners; rebuilt each superstep.
+	// job registers combiners; cleared (not reallocated) each superstep.
 	combineIdx map[uint64]combineSlot
+
+	// Hot-path caches copied from the engine at construction so send
+	// touches one cache line instead of chasing e.schema.
+	div       fastDiv
+	combiners []Combiner // nil when the job registers none
+	msgSize   []int64
+	baseSize  int64
+
+	// counts/next are the routing counting-sort scratch, retained across
+	// supersteps.
+	counts []int32 // len(ids)+1
+	next   []int32 // len(ids)
 
 	aggLocal []aggCell
 	rngSrc   *countingSource
 	rng      *rand.Rand
+	vc       VertexContext // reused across a worker's vertices and supersteps
+
+	// cmds parks the worker's persistent goroutine between phases; the
+	// master closes it on engine stop.
+	cmds chan poolCmd
 
 	// per-step counters (merged under the barrier)
 	msgs, netMsgs, netBytes, localBytes, calls int64
@@ -369,7 +448,7 @@ type worker struct {
 	faultAt int
 }
 
-func (e *engine) workerOf(v graph.NodeID) int { return int(v) % e.numWorkers }
+func (e *engine) workerOf(v graph.NodeID) int { return int(e.div.mod(uint32(v))) }
 
 // Run executes the job on g to completion and returns run statistics.
 // It returns an error if the job exceeds MaxSupersteps, a compute
@@ -392,6 +471,7 @@ func RunContext(ctx context.Context, g *graph.Directed, job Job, cfg Config) (St
 		defer cancel()
 	}
 	e := newEngine(g, job, cfg)
+	defer e.stop()
 	err := e.loop(ctx)
 	// Partial results: report the master's recorded return value even
 	// when the run aborted.
@@ -424,6 +504,20 @@ func newEngine(g *graph.Directed, job Job, cfg Config) *engine {
 	if len(e.schema.MessagePayloadBytes) > 1 {
 		e.msgTag = 1
 	}
+	e.div = newFastDiv(uint32(e.numWorkers))
+	e.baseSize = int64(4 + e.msgTag)
+	e.msgSize = make([]int64, len(e.schema.MessagePayloadBytes))
+	for t, p := range e.schema.MessagePayloadBytes {
+		e.msgSize[t] = e.baseSize + int64(p)
+	}
+	e.mc = MasterContext{e: e}
+	var combiners []Combiner
+	for _, c := range e.schema.Combiners {
+		if c != nil {
+			combiners = e.schema.Combiners
+			break
+		}
+	}
 	e.globals = make([]uint64, len(e.schema.Globals))
 	e.aggValues = make([]aggCell, len(e.schema.Aggregators))
 	e.masterSrc = newCountingSource(cfg.Seed)
@@ -440,23 +534,93 @@ func newEngine(g *graph.Directed, job Job, cfg Config) *engine {
 
 	e.workers = make([]*worker, e.numWorkers)
 	for w := 0; w < e.numWorkers; w++ {
-		wk := &worker{e: e, index: w, local: make(map[graph.NodeID]int), faultAt: -1}
-		for v := graph.NodeID(w); int(v) < g.NumNodes(); v += graph.NodeID(e.numWorkers) {
-			wk.local[v] = len(wk.ids)
+		wk := &worker{e: e, index: w, faultAt: -1}
+		n := g.NumNodes()
+		if n > w {
+			wk.ids = make([]graph.NodeID, 0, (n-w+e.numWorkers-1)/e.numWorkers)
+		}
+		for v := graph.NodeID(w); int(v) < n; v += graph.NodeID(e.numWorkers) {
 			wk.ids = append(wk.ids, v)
 		}
 		wk.active = make([]bool, len(wk.ids))
 		for i := range wk.active {
 			wk.active[i] = true
 		}
+		wk.numActive = len(wk.ids)
 		wk.inOff = make([]int32, len(wk.ids)+1)
+		wk.counts = make([]int32, len(wk.ids)+1)
+		wk.next = make([]int32, len(wk.ids))
 		wk.outboxes = make([][]Msg, e.numWorkers)
+		if combiners != nil {
+			wk.combineIdx = make(map[uint64]combineSlot)
+		}
+		wk.div = e.div
+		wk.combiners = combiners
+		wk.msgSize = e.msgSize
+		wk.baseSize = e.baseSize
 		wk.aggLocal = make([]aggCell, len(e.schema.Aggregators))
 		wk.rngSrc = newCountingSource(cfg.Seed*7919 + int64(w) + 1)
 		wk.rng = rand.New(wk.rngSrc)
+		wk.vc = VertexContext{wk: wk}
+		wk.cmds = make(chan poolCmd, 1)
 		e.workers[w] = wk
 	}
+	// The persistent pool: one goroutine per worker for the whole run,
+	// parked on its command channel between phases. engine.stop (deferred
+	// by RunContext) shuts them down on every exit path.
+	for _, wk := range e.workers {
+		go wk.poolRun()
+	}
 	return e
+}
+
+// stop shuts the persistent worker pool down. Idempotent; called on
+// every run-exit path (normal, error, panic-converted, recovery-budget
+// exhaustion) and only ever between phases, so no worker is mid-command.
+func (e *engine) stop() {
+	if e.stopped {
+		return
+	}
+	e.stopped = true
+	for _, wk := range e.workers {
+		close(wk.cmds)
+	}
+}
+
+// runPhase releases every parked worker into one phase and waits for
+// all of them at the reusable barrier.
+func (e *engine) runPhase(kind phaseKind, step int) {
+	e.phaseWG.Add(len(e.workers))
+	for _, wk := range e.workers {
+		wk.cmds <- poolCmd{kind: kind, step: step}
+	}
+	e.phaseWG.Wait()
+}
+
+// poolRun is a worker's persistent goroutine: park, run the commanded
+// phase, signal the barrier, repeat until the channel closes.
+func (wk *worker) poolRun() {
+	for cmd := range wk.cmds {
+		wk.runCmd(cmd)
+		wk.e.phaseWG.Done()
+	}
+}
+
+// runCmd executes one phase command, converting any panic into a worker
+// error so the barrier is always reached (a lost Done would deadlock the
+// master).
+func (wk *worker) runCmd(cmd poolCmd) {
+	defer func() {
+		if r := recover(); r != nil && wk.err == nil {
+			wk.err = fmt.Errorf("pregel: worker %d panicked in routing phase: %v", wk.index, r)
+		}
+	}()
+	switch cmd.kind {
+	case phaseVertex:
+		wk.runStep(cmd.step)
+	case phaseRoute:
+		wk.routeInbox()
+	}
 }
 
 func (e *engine) loop(ctx context.Context) error {
@@ -500,17 +664,9 @@ func (e *engine) loop(ctx context.Context) error {
 		if halted {
 			return nil
 		}
-		// Vertex phase.
+		// Vertex phase: release the parked pool, no goroutine creation.
 		e.armVertexFault(step)
-		var wg sync.WaitGroup
-		for _, wk := range e.workers {
-			wg.Add(1)
-			go func(wk *worker) {
-				defer wg.Done()
-				wk.runStep(step)
-			}(wk)
-		}
-		wg.Wait()
+		e.runPhase(phaseVertex, step)
 		if e.obsOn {
 			// One span per worker, emitted even for a superstep that is
 			// about to roll back: the trace keeps failed work visible
@@ -615,15 +771,17 @@ func (e *engine) loop(ctx context.Context) error {
 			e.emit(obs.Span{Superstep: step, Worker: -1, Phase: obs.PhaseRouting,
 				StartNS: routeT0, DurNS: e.nowNS() - routeT0})
 		}
+		for _, wk := range e.workers {
+			if wk.err != nil {
+				return wk.err
+			}
+		}
+		// Termination check: O(W) thanks to the per-worker active counters
+		// maintained by runStep/VoteToHalt/routeInbox.
 		anyActive := false
 		for _, wk := range e.workers {
-			for _, a := range wk.active {
-				if a {
-					anyActive = true
-					break
-				}
-			}
-			if anyActive {
+			if wk.numActive > 0 {
+				anyActive = true
 				break
 			}
 		}
@@ -656,72 +814,85 @@ func (e *engine) masterPhase(step int) (halted bool, err error) {
 			err = fmt.Errorf("pregel: master compute panicked at superstep %d: %v", step, r)
 		}
 	}()
-	mc := &MasterContext{e: e, superstep: step}
-	e.job.MasterCompute(mc)
+	e.mc.superstep = step
+	e.job.MasterCompute(&e.mc)
 	return e.halted, nil
 }
 
 // routeMessages moves every worker's outboxes into destination workers'
 // inboxes, grouped per destination vertex in CSR form, preserving source
 // worker order for determinism. It reports whether any message is in
-// flight and reactivates message recipients.
+// flight. The work runs on the persistent pool; outboxes are read-only
+// during the phase and truncated by their owning worker at the start of
+// its next vertex phase, so routing itself allocates nothing once the
+// inbox has grown to its high-water capacity.
 func (e *engine) routeMessages() bool {
+	e.runPhase(phaseRoute, 0)
 	any := false
-	var wg sync.WaitGroup
-	for _, dst := range e.workers {
-		wg.Add(1)
-		go func(dst *worker) {
-			defer wg.Done()
-			total := 0
-			for _, src := range e.workers {
-				total += len(src.outboxes[dst.index])
-			}
-			counts := make([]int32, len(dst.ids)+1)
-			for _, src := range e.workers {
-				for i := range src.outboxes[dst.index] {
-					li := int(src.outboxes[dst.index][i].Dst) / e.numWorkers
-					counts[li+1]++
-				}
-			}
-			for i := 0; i < len(dst.ids); i++ {
-				counts[i+1] += counts[i]
-			}
-			if cap(dst.inFlat) < total {
-				dst.inFlat = make([]Msg, total)
-			} else {
-				dst.inFlat = dst.inFlat[:total]
-			}
-			next := make([]int32, len(dst.ids))
-			copy(next, counts[:len(dst.ids)])
-			for _, src := range e.workers {
-				box := src.outboxes[dst.index]
-				for i := range box {
-					li := int(box[i].Dst) / e.numWorkers
-					dst.inFlat[next[li]] = box[i]
-					next[li]++
-				}
-			}
-			copy(dst.inOff, counts)
-			if total > 0 {
-				for li := 0; li < len(dst.ids); li++ {
-					if counts[li+1] > counts[li] {
-						dst.active[li] = true
-					}
-				}
-			}
-		}(dst)
-	}
-	wg.Wait()
-	for _, src := range e.workers {
-		for d := range src.outboxes {
-			if len(src.outboxes[d]) > 0 {
-				any = true
-			}
-			src.outboxes[d] = src.outboxes[d][:0]
+	for _, wk := range e.workers {
+		if wk.inTotal > 0 {
+			any = true
+			break
 		}
-		src.combineIdx = nil
 	}
 	return any
+}
+
+// routeInbox counting-sorts every source worker's outbox for this worker
+// into the CSR inbox, reusing the retained counts/next scratch and inFlat
+// capacity. Recipients of messages are reactivated (with the active
+// counter maintained). Runs on the worker's pool goroutine; it reads
+// other workers' outboxes, which no one mutates during the phase.
+func (wk *worker) routeInbox() {
+	e := wk.e
+	total := 0
+	for _, src := range e.workers {
+		total += len(src.outboxes[wk.index])
+	}
+	wk.inTotal = total
+	if total == 0 {
+		// Inbox was consumed and offsets zeroed at the end of runStep;
+		// nothing to route.
+		wk.inFlat = wk.inFlat[:0]
+		return
+	}
+	counts := wk.counts
+	for i := range counts {
+		counts[i] = 0
+	}
+	div := wk.div
+	for _, src := range e.workers {
+		box := src.outboxes[wk.index]
+		for i := range box {
+			li := int(div.div(uint32(box[i].Dst)))
+			counts[li+1]++
+		}
+	}
+	for i := 0; i < len(wk.ids); i++ {
+		counts[i+1] += counts[i]
+	}
+	if cap(wk.inFlat) < total {
+		wk.inFlat = make([]Msg, total)
+	} else {
+		wk.inFlat = wk.inFlat[:total]
+	}
+	next := wk.next
+	copy(next, counts[:len(wk.ids)])
+	for _, src := range e.workers {
+		box := src.outboxes[wk.index]
+		for i := range box {
+			li := int(div.div(uint32(box[i].Dst)))
+			wk.inFlat[next[li]] = box[i]
+			next[li]++
+		}
+	}
+	copy(wk.inOff, counts)
+	for li := 0; li < len(wk.ids); li++ {
+		if counts[li+1] > counts[li] && !wk.active[li] {
+			wk.active[li] = true
+			wk.numActive++
+		}
+	}
 }
 
 func (wk *worker) runStep(step int) {
@@ -734,7 +905,18 @@ func (wk *worker) runStep(step int) {
 		wk.stepStartNS = wk.e.nowNS()
 		defer func() { wk.stepDurNS = wk.e.nowNS() - wk.stepStartNS }()
 	}
-	vc := VertexContext{wk: wk, superstep: step}
+	// Truncate our own outboxes from the previous superstep (routing has
+	// long completed; owner-only truncation keeps the work parallel and
+	// retains the capacity) and clear — don't reallocate — the combiner
+	// index.
+	for d := range wk.outboxes {
+		wk.outboxes[d] = wk.outboxes[d][:0]
+	}
+	if wk.combineIdx != nil {
+		clear(wk.combineIdx)
+	}
+	vc := &wk.vc
+	vc.superstep = step
 	for li, v := range wk.ids {
 		if wk.faultAt >= 0 && li == wk.faultAt {
 			// Injected crash mid-phase: job state and outboxes stay
@@ -746,12 +928,15 @@ func (wk *worker) runStep(step int) {
 		if !wk.active[li] && !hasMsgs {
 			continue
 		}
-		wk.active[li] = true
+		if !wk.active[li] {
+			wk.active[li] = true
+			wk.numActive++
+		}
 		vc.id = v
 		vc.local = li
 		vc.msgs = wk.inFlat[wk.inOff[li]:wk.inOff[li+1]]
 		wk.calls++
-		wk.e.job.VertexCompute(&vc)
+		wk.e.job.VertexCompute(vc)
 	}
 	if wk.faultAt >= len(wk.ids) {
 		// Armed on a worker owning too few vertices: crash at phase end.
@@ -770,13 +955,14 @@ type combineSlot struct {
 	idx int
 }
 
+// send appends m to the outbox of m.Dst's owning worker. It touches only
+// the worker's own retained state (cached divider, combiner table, wire
+// sizes) and allocates nothing once outbox/index capacity has reached its
+// high-water mark.
 func (wk *worker) send(src graph.NodeID, m Msg) {
-	dw := wk.e.workerOf(m.Dst)
-	if cs := wk.e.schema.Combiners; int(m.Type) < len(cs) && cs[m.Type] != nil {
+	dw := int(wk.div.mod(uint32(m.Dst)))
+	if cs := wk.combiners; cs != nil && int(m.Type) < len(cs) && cs[m.Type] != nil {
 		key := uint64(uint32(m.Dst))<<8 | uint64(m.Type)
-		if wk.combineIdx == nil {
-			wk.combineIdx = make(map[uint64]combineSlot)
-		}
 		if slot, ok := wk.combineIdx[key]; ok {
 			cs[m.Type](&wk.outboxes[slot.dw][slot.idx], m)
 			return
@@ -785,9 +971,9 @@ func (wk *worker) send(src graph.NodeID, m Msg) {
 	}
 	wk.outboxes[dw] = append(wk.outboxes[dw], m)
 	wk.msgs++
-	size := int64(4 + wk.e.msgTag)
-	if int(m.Type) < len(wk.e.schema.MessagePayloadBytes) {
-		size += int64(wk.e.schema.MessagePayloadBytes[m.Type])
+	size := wk.baseSize
+	if int(m.Type) < len(wk.msgSize) {
+		size = wk.msgSize[m.Type]
 	}
 	if dw != wk.index {
 		wk.netMsgs++
@@ -795,5 +981,40 @@ func (wk *worker) send(src graph.NodeID, m Msg) {
 	} else {
 		wk.localBytes += size
 	}
+	_ = src
+}
+
+// sendToAll sends a copy of m to every node in dsts (the SendToAllNbrs
+// bulk path). For jobs without combiners it hoists the per-message size
+// lookup and counter updates out of the loop; with combiners it falls
+// back to send, which must consult the index per destination.
+func (wk *worker) sendToAll(src graph.NodeID, dsts []graph.NodeID, m Msg) {
+	if wk.combiners != nil {
+		for _, d := range dsts {
+			m.Dst = d
+			wk.send(src, m)
+		}
+		return
+	}
+	size := wk.baseSize
+	if int(m.Type) < len(wk.msgSize) {
+		size = wk.msgSize[m.Type]
+	}
+	div := wk.div
+	self := uint32(wk.index)
+	var local int64
+	for _, d := range dsts {
+		dw := div.mod(uint32(d))
+		m.Dst = d
+		wk.outboxes[dw] = append(wk.outboxes[dw], m)
+		if dw == self {
+			local++
+		}
+	}
+	n := int64(len(dsts))
+	wk.msgs += n
+	wk.netMsgs += n - local
+	wk.netBytes += (n - local) * size
+	wk.localBytes += local * size
 	_ = src
 }
