@@ -8,6 +8,8 @@
 //	gmbench -ablation      optimization / combiner ablation table
 //	gmbench -activity      SSSP per-superstep active-vertex profile (§5.2)
 //	gmbench -recovery      checkpoint-overhead / crash-recovery table
+//	gmbench -scaling       worker-count scaling sweep (Figure-7-style)
+//	gmbench -schedab       scheduling A/B: static vs chunked vs stealing
 //	gmbench -all           every mode above
 //
 // -scale multiplies graph sizes (scale 1 ≈ 5-8k vertices per graph);
@@ -15,6 +17,11 @@
 // table is further shaped by -ckpt-every (0 sweeps {1,2,4,8}),
 // -crash-step (0 picks a mid-run superstep off the checkpoint grid),
 // and -crash-worker.
+//
+// Scheduling knobs (every engine run except the -schedab configs, which
+// set their own): -chunk N forces the scheduler chunk size (0 = auto),
+// -sched steal|nosteal toggles deterministic work stealing, and
+// -part mod|degree selects the partitioner.
 //
 // Observability:
 //
@@ -42,6 +49,7 @@ import (
 
 	"gmpregel/internal/bench"
 	"gmpregel/internal/obs"
+	"gmpregel/internal/pregel"
 )
 
 // mode is one gmbench artifact generator. -all runs every entry of the
@@ -60,11 +68,17 @@ func main() {
 		ablation = flag.Bool("ablation", false, "measure optimization and combiner ablations")
 		activity = flag.Bool("activity", false, "measure the SSSP per-superstep active-vertex profile (§5.2)")
 		recovery = flag.Bool("recovery", false, "measure checkpoint overhead and crash-recovery latency")
+		scaling  = flag.Bool("scaling", false, "run the worker-count scaling sweep (Figure-7-style)")
+		schedab  = flag.Bool("schedab", false, "run the scheduling A/B (static vs chunked vs stealing, interleaved trials)")
 		all      = flag.Bool("all", false, "regenerate everything")
 		scale    = flag.Int("scale", 2, "graph scale multiplier")
 		workers  = flag.Int("workers", 8, "engine workers")
 		trials   = flag.Int("trials", 3, "timing trials (minimum is reported)")
 		seed     = flag.Int64("seed", 1, "random seed")
+
+		chunk = flag.Int("chunk", 0, "scheduler chunk size (0 = automatic)")
+		sched = flag.String("sched", "steal", "work stealing: steal or nosteal")
+		part  = flag.String("part", "mod", "partitioner: mod or degree")
 
 		ckptEvery   = flag.Int("ckpt-every", 0, "recovery: checkpoint interval (0 sweeps 1,2,4,8)")
 		crashStep   = flag.Int("crash-step", 0, "recovery: superstep of the injected crash (0 = auto mid-run)")
@@ -78,6 +92,29 @@ func main() {
 		httpAddr   = flag.String("http", "", "serve /metrics, /healthz, /run, /debug/pprof on this address while running")
 	)
 	flag.Parse()
+
+	// Scheduling knobs apply to every engine run the harness performs
+	// (the -schedab configs override them per cell).
+	var noSteal bool
+	switch *sched {
+	case "steal":
+	case "nosteal":
+		noSteal = true
+	default:
+		fmt.Fprintf(os.Stderr, "gmbench: -sched must be steal or nosteal, got %q\n", *sched)
+		os.Exit(2)
+	}
+	var partKind pregel.PartitionKind
+	switch *part {
+	case "mod":
+		partKind = pregel.PartitionMod
+	case "degree":
+		partKind = pregel.PartitionDegree
+	default:
+		fmt.Fprintf(os.Stderr, "gmbench: -part must be mod or degree, got %q\n", *part)
+		os.Exit(2)
+	}
+	bench.SetSchedTuning(*chunk, noSteal, partKind)
 
 	rep := &bench.Report{Meta: bench.Meta{Scale: *scale, Workers: *workers, Trials: *trials, Seed: *seed}}
 	modes := []mode{
@@ -115,6 +152,14 @@ func main() {
 		}},
 		{"recovery", func() bool { return *recovery }, func(w io.Writer, rep *bench.Report) (err error) {
 			rep.Recovery, err = bench.RecoveryTable(w, *scale, *workers, *trials, *seed, *ckptEvery, *crashStep, *crashWorker)
+			return
+		}},
+		{"scaling", func() bool { return *scaling }, func(w io.Writer, rep *bench.Report) (err error) {
+			rep.Scaling, err = bench.ScalingSweep(w, *scale, *workers, *trials, *seed)
+			return
+		}},
+		{"schedab", func() bool { return *schedab }, func(w io.Writer, rep *bench.Report) (err error) {
+			rep.SchedAB, err = bench.SchedAB(w, *scale, *workers, *trials, *seed)
 			return
 		}},
 	}

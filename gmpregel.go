@@ -52,8 +52,19 @@ type Bindings = machine.Bindings
 // statistics.
 type Result = machine.Result
 
-// Config controls an engine run (worker count, superstep limit, seed).
+// Config controls an engine run (worker count, superstep limit, seed,
+// and scheduling: ChunkSize, NoSteal, Partitioner).
 type Config = pregel.Config
+
+// PartitionKind selects how vertices map to workers (Config.Partitioner).
+type PartitionKind = pregel.PartitionKind
+
+// Partitioners: round-robin by vertex ID (the GPS default), or
+// contiguous ranges balanced by edge mass for skewed graphs.
+const (
+	PartitionMod    = pregel.PartitionMod
+	PartitionDegree = pregel.PartitionDegree
+)
 
 // Stats summarizes a run: supersteps, messages, network/control bytes,
 // and checkpoint/recovery accounting.
@@ -105,6 +116,7 @@ const (
 	PhaseBarrier       = obs.PhaseBarrier
 	PhaseCheckpoint    = obs.PhaseCheckpoint
 	PhaseRecovery      = obs.PhaseRecovery
+	PhaseChunk         = obs.PhaseChunk
 	PhaseRun           = obs.PhaseRun
 )
 

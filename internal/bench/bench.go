@@ -28,10 +28,33 @@ var observer obs.Observer
 // (or none).
 func SetObserver(o obs.Observer) { observer = o }
 
+// tuning carries the scheduling knobs (-sched/-chunk/-part) into every
+// engine run the harness performs. Zero values are the engine defaults:
+// automatic chunk size, stealing on, mod partitioning.
+var tuning struct {
+	chunkSize int
+	noSteal   bool
+	part      pregel.PartitionKind
+}
+
+// SetSchedTuning applies scheduling knobs to every subsequent engine run
+// the harness performs. The scheduling A/B mode overrides these per
+// config; every other mode inherits them.
+func SetSchedTuning(chunkSize int, noSteal bool, part pregel.PartitionKind) {
+	tuning.chunkSize, tuning.noSteal, tuning.part = chunkSize, noSteal, part
+}
+
 // engineConfig is the single place harness code builds a pregel.Config,
-// so the observer reaches every run.
+// so the observer and scheduling knobs reach every run.
 func engineConfig(workers int, seed int64) pregel.Config {
-	return pregel.Config{NumWorkers: workers, Seed: seed, Observer: observer}
+	return pregel.Config{
+		NumWorkers:  workers,
+		Seed:        seed,
+		Observer:    observer,
+		ChunkSize:   tuning.chunkSize,
+		NoSteal:     tuning.noSteal,
+		Partitioner: tuning.part,
+	}
 }
 
 // GraphSpec describes one evaluation input graph, a scaled-down

@@ -29,6 +29,8 @@ type Report struct {
 	Ablation []AblationRow    `json:"ablation,omitempty"`
 	Activity *ActivityProfile `json:"activity,omitempty"`
 	Recovery []RecoveryRow    `json:"recovery,omitempty"`
+	Scaling  []ScalingRow     `json:"scaling,omitempty"`
+	SchedAB  []SchedABRow     `json:"schedab,omitempty"`
 	Skew     *obs.SkewReport  `json:"skew,omitempty"`
 }
 

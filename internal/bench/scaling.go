@@ -1,0 +1,102 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"gmpregel/internal/obs"
+	"gmpregel/internal/pregel"
+)
+
+// ScalingRow is one worker count of the Figure-7-style scaling sweep:
+// wall time and per-superstep rate for manual PageRank on the skewed
+// web graph, speedup relative to one worker, and the trace-derived load
+// balance (vertex-compute skew = partition imbalance, chunk skew = how
+// evenly the executor pool shared the work after stealing).
+type ScalingRow struct {
+	Workers        int           `json:"workers"`
+	Elapsed        time.Duration `json:"elapsed_ns"`
+	NsPerSuperstep int64         `json:"ns_per_superstep"`
+	Speedup        float64       `json:"speedup"`
+	VertexSkew     float64       `json:"vertex_skew"`
+	ChunkSkew      float64       `json:"chunk_skew"`
+	StolenSpans    int           `json:"stolen_spans"`
+}
+
+// scalingWorkerCounts doubles from 1 up to max, always including max.
+func scalingWorkerCounts(max int) []int {
+	var counts []int
+	for w := 1; w < max; w *= 2 {
+		counts = append(counts, w)
+	}
+	if len(counts) == 0 || counts[len(counts)-1] != max {
+		counts = append(counts, max)
+	}
+	return counts
+}
+
+// ScalingSweep runs manual PageRank on the sk2005-like graph at worker
+// counts 1, 2, 4, … up to maxWorkers, reporting speedup and skew per
+// count. Each run is traced into its own ring (alongside any global
+// observer) so the skew columns are per-worker-count, not cumulative.
+func ScalingSweep(w io.Writer, scale, maxWorkers, trials int, seed int64) ([]ScalingRow, error) {
+	spec, err := GraphByName("sk2005")
+	if err != nil {
+		return nil, err
+	}
+	g := spec.Build(scale)
+	in := MakeInputs(g, 0, seed+7)
+	p := DefaultParams()
+	fmt.Fprintf(w, "Scaling sweep: manual PageRank on %s (n=%d, m=%d), workers 1..%d\n",
+		spec.Name, g.NumNodes(), g.NumEdges(), maxWorkers)
+	fmt.Fprintf(w, "%7s %12s %14s %8s %12s %11s %8s\n",
+		"workers", "elapsed", "ns/superstep", "speedup", "vertex-skew", "chunk-skew", "stolen")
+	var rows []ScalingRow
+	var base time.Duration
+	for _, workers := range scalingWorkerCounts(maxWorkers) {
+		ring := obs.NewRing(1 << 16)
+		cfg := engineConfig(workers, seed)
+		cfg.Observer = obs.Multi(cfg.Observer, ring)
+		out, err := RunManual("pagerank", g, in, p, cfg, trials)
+		if err != nil {
+			return nil, fmt.Errorf("scaling W=%d: %v", workers, err)
+		}
+		row := ScalingRow{
+			Workers:        workers,
+			Elapsed:        out.Elapsed,
+			NsPerSuperstep: out.NsPerSuperstep,
+		}
+		if base == 0 {
+			base = out.Elapsed
+		}
+		row.Speedup = float64(base) / float64(out.Elapsed)
+		rep := obs.Skew(ring.Spans())
+		if r, ok := rep.Row("vertex-compute"); ok {
+			row.VertexSkew = r.Skew
+		}
+		if r, ok := rep.Row("chunk"); ok {
+			row.ChunkSkew = r.Skew
+			row.StolenSpans = r.StolenSpans
+		}
+		rows = append(rows, row)
+		fmt.Fprintf(w, "%7d %12s %14d %8.2f %12.2f %11.2f %8d\n",
+			row.Workers, row.Elapsed.Round(time.Microsecond), row.NsPerSuperstep,
+			row.Speedup, row.VertexSkew, row.ChunkSkew, row.StolenSpans)
+	}
+	return rows, nil
+}
+
+// schedABConfigs returns the scheduling configurations the A/B mode
+// interleaves. "baseline-static" reproduces the pre-skew-aware schedule
+// (one chunk per worker, no stealing); the chunked configs isolate the
+// chunk-queue and stealing contributions; the degree config adds the
+// edge-mass-balanced partitioner.
+func schedABConfigs() []SchedABConfig {
+	return []SchedABConfig{
+		{Name: "baseline-static", ChunkSize: 1 << 30, NoSteal: true, Part: pregel.PartitionMod},
+		{Name: "chunked-nosteal", ChunkSize: 0, NoSteal: true, Part: pregel.PartitionMod},
+		{Name: "chunked-steal", ChunkSize: 0, NoSteal: false, Part: pregel.PartitionMod},
+		{Name: "chunked-steal-degree", ChunkSize: 0, NoSteal: false, Part: pregel.PartitionDegree},
+	}
+}

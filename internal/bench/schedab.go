@@ -1,0 +1,149 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"reflect"
+	"time"
+
+	"gmpregel/internal/obs"
+	"gmpregel/internal/pregel"
+)
+
+// SchedABConfig is one scheduling configuration of the A/B comparison.
+type SchedABConfig struct {
+	Name      string               `json:"name"`
+	ChunkSize int                  `json:"chunk_size"`
+	NoSteal   bool                 `json:"no_steal"`
+	Part      pregel.PartitionKind `json:"partitioner"`
+}
+
+// SchedABRow is one (workload, configuration) cell of the scheduling
+// A/B: min-over-trials wall time and per-superstep rate, plus the
+// trace-derived skew columns for that configuration's runs.
+type SchedABRow struct {
+	Workload       string        `json:"workload"`
+	Config         string        `json:"config"`
+	Elapsed        time.Duration `json:"elapsed_ns"`
+	NsPerSuperstep int64         `json:"ns_per_superstep"`
+	Supersteps     int           `json:"supersteps"`
+	MessagesSent   int64         `json:"messages_sent"`
+	VertexSkew     float64       `json:"vertex_skew"`
+	ChunkSkew      float64       `json:"chunk_skew"`
+	StolenSpans    int           `json:"stolen_spans"`
+}
+
+// schedABWorkloads: the skewed workload the scheduler targets (PageRank
+// on the RMAT web graph — heavy-hitter out-degrees under mod
+// partitioning) and the uniform control that must not regress
+// (bipartite matching on the uniform-random bipartite graph).
+func schedABWorkloads() []struct{ algo, graph string } {
+	return []struct{ algo, graph string }{
+		{"pagerank", "sk2005"},
+		{"bipartite", "bipartite"},
+	}
+}
+
+// SchedAB runs every workload under every scheduling configuration with
+// interleaved trials (trial t of every config runs before trial t+1 of
+// any, so machine drift hits all configs equally) and min-over-trials
+// timing. As a built-in correctness gate it verifies that the
+// chunked-steal and chunked-nosteal runs — identical chunk geometry,
+// different execution schedule — produce bit-identical pregel.Stats.
+func SchedAB(w io.Writer, scale, workers, trials int, seed int64) ([]SchedABRow, error) {
+	p := DefaultParams()
+	configs := schedABConfigs()
+	type cell struct {
+		best  time.Duration
+		stats pregel.Stats
+		ring  *obs.Ring
+	}
+	var rows []SchedABRow
+	for _, wl := range schedABWorkloads() {
+		spec, err := GraphByName(wl.graph)
+		if err != nil {
+			return nil, err
+		}
+		g := spec.Build(scale)
+		boys := 0
+		if spec.BipartiteBoys != nil {
+			boys = spec.BipartiteBoys(scale)
+		}
+		in := MakeInputs(g, boys, seed+7)
+		cells := make([]cell, len(configs))
+		for i := range cells {
+			cells[i].best = time.Duration(1<<63 - 1)
+			cells[i].ring = obs.NewRing(1 << 16)
+		}
+		runOne := func(i int) error {
+			cfg := engineConfig(workers, seed)
+			cfg.ChunkSize = configs[i].ChunkSize
+			cfg.NoSteal = configs[i].NoSteal
+			cfg.Partitioner = configs[i].Part
+			cfg.Observer = obs.Multi(cfg.Observer, cells[i].ring)
+			out, err := RunManual(wl.algo, g, in, p, cfg, 1)
+			if err != nil {
+				return fmt.Errorf("%s/%s %s: %v", wl.algo, wl.graph, configs[i].Name, err)
+			}
+			if out.Elapsed < cells[i].best {
+				cells[i].best = out.Elapsed
+			}
+			cells[i].stats = out.Stats
+			return nil
+		}
+		for t := 0; t < trials; t++ {
+			for i := range configs {
+				if err := runOne(i); err != nil {
+					return nil, err
+				}
+			}
+		}
+		// Correctness gate: stealing at fixed chunk geometry is a pure
+		// scheduling change, so chunked-steal and chunked-nosteal Stats
+		// must be bit-identical (aggregator reduction order included).
+		var steal, nosteal *cell
+		for i := range configs {
+			switch configs[i].Name {
+			case "chunked-steal":
+				steal = &cells[i]
+			case "chunked-nosteal":
+				nosteal = &cells[i]
+			}
+		}
+		if steal != nil && nosteal != nil && !reflect.DeepEqual(steal.stats, nosteal.stats) {
+			return nil, fmt.Errorf("schedab: %s/%s: chunked-steal Stats differ from chunked-nosteal:\n%+v\n%+v",
+				wl.algo, wl.graph, steal.stats, nosteal.stats)
+		}
+		for i, c := range configs {
+			st := cells[i].stats
+			row := SchedABRow{
+				Workload:     wl.algo + "/" + wl.graph,
+				Config:       c.Name,
+				Elapsed:      cells[i].best,
+				Supersteps:   st.Supersteps,
+				MessagesSent: st.MessagesSent,
+			}
+			if st.Supersteps > 0 {
+				row.NsPerSuperstep = cells[i].best.Nanoseconds() / int64(st.Supersteps)
+			}
+			rep := obs.Skew(cells[i].ring.Spans())
+			if r, ok := rep.Row("vertex-compute"); ok {
+				row.VertexSkew = r.Skew
+			}
+			if r, ok := rep.Row("chunk"); ok {
+				row.ChunkSkew = r.Skew
+				row.StolenSpans = r.StolenSpans
+			}
+			rows = append(rows, row)
+		}
+	}
+	fmt.Fprintf(w, "Scheduling A/B (interleaved, min of %d trials, %d workers)\n", trials, workers)
+	fmt.Fprintf(w, "%-20s %-21s %12s %14s %12s %11s %8s\n",
+		"workload", "config", "elapsed", "ns/superstep", "vertex-skew", "chunk-skew", "stolen")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-20s %-21s %12s %14d %12.2f %11.2f %8d\n",
+			r.Workload, r.Config, r.Elapsed.Round(time.Microsecond), r.NsPerSuperstep,
+			r.VertexSkew, r.ChunkSkew, r.StolenSpans)
+	}
+	return rows, nil
+}

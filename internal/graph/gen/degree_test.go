@@ -1,0 +1,84 @@
+package gen
+
+import (
+	"testing"
+
+	"gmpregel/internal/graph"
+)
+
+func degreeStats(g *graph.Directed) (maxOut, maxIn int, meanOut, meanIn float64) {
+	n := g.NumNodes()
+	in := make([]int, n)
+	var edges int64
+	for v := graph.NodeID(0); int(v) < n; v++ {
+		d := g.OutDegree(v)
+		edges += int64(d)
+		if d > maxOut {
+			maxOut = d
+		}
+		for _, t := range g.OutNbrs(v) {
+			in[t]++
+		}
+	}
+	for _, d := range in {
+		if d > maxIn {
+			maxIn = d
+		}
+	}
+	meanOut = float64(edges) / float64(n)
+	meanIn = meanOut
+	return
+}
+
+// Satellite sanity check: the skewed generators actually produce the
+// degree skew the scheduler is built for, and the uniform one does not.
+// Measured max/mean ratios at these sizes and seeds (deterministic):
+//
+//	TwitterLike(20000, 16, 101): max-in/mean-in   ≈ 12.8 (hubs via
+//	    preferential attachment; out-degree stays uniform, ratio 1.0)
+//	WebLike(13, 18, 303):        max-out/mean-out ≈ 229,
+//	                             max-in/mean-in   ≈ 229  (RMAT skews both)
+//	Bipartite(6000, 6000, 10, 202): max-in/mean-in ≈ 2.6 (Poisson tail)
+//
+// The assertions use roughly half the measured ratios so small generator
+// tweaks do not break the test, while a regression to uniform sampling
+// would.
+func TestGeneratorDegreeSkew(t *testing.T) {
+	t.Run("twitter-like heavy-tailed in-degree", func(t *testing.T) {
+		g := TwitterLike(20000, 16, 101)
+		maxOut, maxIn, meanOut, meanIn := degreeStats(g)
+		inRatio := float64(maxIn) / meanIn
+		outRatio := float64(maxOut) / meanOut
+		t.Logf("twitter-like: max-in/mean-in = %.1f, max-out/mean-out = %.1f", inRatio, outRatio)
+		if inRatio < 6 {
+			t.Errorf("in-degree ratio %.1f too uniform; preferential attachment broken?", inRatio)
+		}
+		if outRatio > 2 {
+			t.Errorf("out-degree ratio %.1f unexpectedly skewed (senders emit ~outDeg each)", outRatio)
+		}
+	})
+	t.Run("rmat skewed both ways", func(t *testing.T) {
+		g := WebLike(13, 18, 303)
+		maxOut, maxIn, meanOut, meanIn := degreeStats(g)
+		inRatio := float64(maxIn) / meanIn
+		outRatio := float64(maxOut) / meanOut
+		t.Logf("rmat: max-out/mean-out = %.1f, max-in/mean-in = %.1f", outRatio, inRatio)
+		if outRatio < 15 {
+			t.Errorf("out-degree ratio %.1f too uniform; RMAT quadrant skew broken?", outRatio)
+		}
+		if inRatio < 15 {
+			t.Errorf("in-degree ratio %.1f too uniform; RMAT quadrant skew broken?", inRatio)
+		}
+	})
+	t.Run("bipartite stays uniform", func(t *testing.T) {
+		g := Bipartite(6000, 6000, 10, 202)
+		_, maxIn, _, _ := degreeStats(g)
+		// Girls receive the edges: mean in-degree over girls is outDeg.
+		meanGirlIn := 10.0
+		inRatio := float64(maxIn) / meanGirlIn
+		t.Logf("bipartite: max-in/mean-girl-in = %.1f", inRatio)
+		if inRatio > 8 {
+			t.Errorf("in-degree ratio %.1f too skewed for a uniform generator", inRatio)
+		}
+	})
+}

@@ -398,11 +398,14 @@ func (ex *exec) execMaster(ss []ir.Stmt, env *masterEnv) bool {
 
 // VertexCompute runs the closure-compiled body of the current vertex
 // state (or the reference interpreter under RunOptions.Interpret),
-// reusing this worker's environment.
+// reusing this executor's environment. Environments are indexed by
+// executor, not worker: under work stealing one goroutine may run
+// vertices owned by several workers, and two goroutines must never
+// share scratch.
 func (ex *exec) VertexCompute(vc *pregel.VertexContext) {
 	state := ex.state
 	vs := ex.p.Nodes[state].Vertex
-	env := ex.envs[vc.WorkerIndex()]
+	env := ex.envs[vc.ExecutorIndex()]
 	env.vc = vc
 	env.vs = vs
 	env.curEdge = -1

@@ -8,43 +8,76 @@ import (
 )
 
 // PhaseSkew is one row of a SkewReport: the wall-time distribution of
-// one phase across the workers (or engine-scoped spans) that ran it.
+// one phase across the scopes (workers, executors, or the engine scope)
+// that ran it.
 type PhaseSkew struct {
 	Phase   string `json:"phase"`
 	Spans   int    `json:"spans"`
 	TotalNS int64  `json:"total_ns"`
-	// Workers is the number of distinct span scopes (worker indexes,
-	// counting the engine scope -1 as one) contributing to the phase.
+	// Workers is the number of distinct span scopes contributing to the
+	// phase: worker indexes for most phases (counting the engine scope -1
+	// as one), executor indexes for the chunk phase — chunk skew measures
+	// how evenly the pool shared the work after stealing, whereas
+	// vertex-compute skew measures how uneven the partitions themselves
+	// are.
 	Workers   int     `json:"workers"`
 	MaxNS     int64   `json:"max_ns"`
 	MedianNS  int64   `json:"median_ns"`
 	MaxWorker int     `json:"max_worker"`
 	Skew      float64 `json:"skew"` // MaxNS / MedianNS; 1.0 means perfectly balanced
+	// StolenSpans/StolenNS count the phase's spans whose executing scope
+	// differed from the owning worker (chunk spans moved by work
+	// stealing). Zero — and omitted from JSON — for every other phase.
+	StolenSpans int   `json:"stolen_spans,omitempty"`
+	StolenNS    int64 `json:"stolen_ns,omitempty"`
 }
 
 // SkewReport summarizes per-phase load imbalance derived from a trace:
-// for each phase, the total time, and the max and median of per-worker
+// for each phase, the total time, and the max and median of per-scope
 // time totals. A vertex-compute skew well above 1 is the signature of a
-// hot partition (e.g. a preferential-attachment hub).
+// hot partition (e.g. a preferential-attachment hub); a chunk skew near
+// 1 alongside it means work stealing redistributed that partition across
+// the executor pool.
 type SkewReport struct {
 	Phases []PhaseSkew `json:"phases"`
 }
 
-// Skew derives a SkewReport from spans (any order). Per-worker time is
+// Skew derives a SkewReport from spans (any order). Per-scope time is
 // totalled across supersteps before the max/median are taken, so the
 // report reflects whole-run imbalance rather than per-step noise.
+//
+// Edge cases, pinned by tests: a phase with no spans produces no row
+// (never a division by zero); a phase whose spans all have zero
+// duration reports Skew 0 (the 0/0 case is defined as "no signal", not
+// 1.0); a single-scope phase reports max == median, Skew 1.0 when the
+// duration is nonzero; with an even number of scopes the median is the
+// upper of the two middle values (median-of-2 = max, giving Skew 1.0 —
+// a deliberate, conservative choice for the W=2 case).
 func Skew(spans []Span) *SkewReport {
 	type key struct {
-		phase  Phase
-		worker int
+		phase Phase
+		scope int
 	}
 	totals := map[key]int64{}
 	counts := map[Phase]int{}
+	stolenSpans := map[Phase]int{}
+	stolenNS := map[Phase]int64{}
 	for _, s := range spans {
 		if s.Phase == PhaseRun {
 			continue
 		}
-		totals[key{s.Phase, s.Worker}] += s.DurNS
+		scope := s.Worker
+		if s.Phase == PhaseChunk {
+			// Chunk spans are attributed to the executor that ran them,
+			// not the worker that owns them: the row then answers "did the
+			// pool stay busy", the question stealing exists to fix.
+			scope = s.Executor
+			if s.Stolen {
+				stolenSpans[s.Phase]++
+				stolenNS[s.Phase] += s.DurNS
+			}
+		}
+		totals[key{s.Phase, scope}] += s.DurNS
 		counts[s.Phase]++
 	}
 	rep := &SkewReport{}
@@ -53,21 +86,23 @@ func Skew(spans []Span) *SkewReport {
 			continue
 		}
 		var durs []int64
-		var workers []int
+		var scopes []int
 		for k, d := range totals {
 			if k.phase == p {
 				durs = append(durs, d)
-				workers = append(workers, k.worker)
+				scopes = append(scopes, k.scope)
 			}
 		}
-		sort.Sort(&byDur{durs, workers})
+		sort.Sort(&byDur{durs, scopes})
 		row := PhaseSkew{
-			Phase:     p.String(),
-			Spans:     counts[p],
-			Workers:   len(durs),
-			MaxNS:     durs[len(durs)-1],
-			MaxWorker: workers[len(durs)-1],
-			MedianNS:  durs[len(durs)/2],
+			Phase:       p.String(),
+			Spans:       counts[p],
+			Workers:     len(durs),
+			MaxNS:       durs[len(durs)-1],
+			MaxWorker:   scopes[len(durs)-1],
+			MedianNS:    durs[len(durs)/2],
+			StolenSpans: stolenSpans[p],
+			StolenNS:    stolenNS[p],
 		}
 		for _, d := range durs {
 			row.TotalNS += d
@@ -81,8 +116,8 @@ func Skew(spans []Span) *SkewReport {
 }
 
 type byDur struct {
-	durs    []int64
-	workers []int
+	durs   []int64
+	scopes []int
 }
 
 func (b *byDur) Len() int { return len(b.durs) }
@@ -90,11 +125,11 @@ func (b *byDur) Less(i, j int) bool {
 	if b.durs[i] != b.durs[j] {
 		return b.durs[i] < b.durs[j]
 	}
-	return b.workers[i] < b.workers[j]
+	return b.scopes[i] < b.scopes[j]
 }
 func (b *byDur) Swap(i, j int) {
 	b.durs[i], b.durs[j] = b.durs[j], b.durs[i]
-	b.workers[i], b.workers[j] = b.workers[j], b.workers[i]
+	b.scopes[i], b.scopes[j] = b.scopes[j], b.scopes[i]
 }
 
 // Row returns the row for the named phase, if present.
@@ -110,15 +145,15 @@ func (r *SkewReport) Row(phase string) (PhaseSkew, bool) {
 // String renders the report as an aligned table.
 func (r *SkewReport) String() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "%-15s %7s %8s %12s %12s %12s %6s\n",
-		"phase", "spans", "workers", "total", "max", "median", "skew")
+	fmt.Fprintf(&b, "%-15s %7s %8s %12s %12s %12s %6s %8s\n",
+		"phase", "spans", "workers", "total", "max", "median", "skew", "stolen")
 	for _, p := range r.Phases {
-		fmt.Fprintf(&b, "%-15s %7d %8d %12s %12s %12s %6.2f\n",
+		fmt.Fprintf(&b, "%-15s %7d %8d %12s %12s %12s %6.2f %8d\n",
 			p.Phase, p.Spans, p.Workers,
 			time.Duration(p.TotalNS).Round(time.Microsecond),
 			time.Duration(p.MaxNS).Round(time.Microsecond),
 			time.Duration(p.MedianNS).Round(time.Microsecond),
-			p.Skew)
+			p.Skew, p.StolenSpans)
 	}
 	return b.String()
 }

@@ -1,0 +1,153 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+// Satellite audit: the skew report's edge cases — empty traces, phases
+// with zero-duration spans, a single worker, even scope counts, and the
+// engine scope — each have a pinned, documented answer instead of a
+// division by zero or an accidental NaN.
+func TestSkewReportEdgeCases(t *testing.T) {
+	cases := []struct {
+		name  string
+		spans []Span
+		phase string
+		// wantRow false asserts the phase is absent entirely.
+		wantRow    bool
+		workers    int
+		maxNS      int64
+		medianNS   int64
+		skew       float64
+		totalPhase int // expected number of phase rows in the report
+	}{
+		{
+			name:       "empty trace",
+			spans:      nil,
+			phase:      "vertex-compute",
+			wantRow:    false,
+			totalPhase: 0,
+		},
+		{
+			name:       "run span only",
+			spans:      []Span{{Worker: -1, Phase: PhaseRun, DurNS: 100}},
+			phase:      "run",
+			wantRow:    false,
+			totalPhase: 0,
+		},
+		{
+			name: "zero-duration spans give skew 0, not NaN",
+			spans: []Span{
+				{Worker: 0, Phase: PhaseVertexCompute, DurNS: 0},
+				{Worker: 1, Phase: PhaseVertexCompute, DurNS: 0},
+			},
+			phase:   "vertex-compute",
+			wantRow: true, workers: 2, maxNS: 0, medianNS: 0, skew: 0,
+			totalPhase: 1,
+		},
+		{
+			name: "single worker is perfectly balanced",
+			spans: []Span{
+				{Superstep: 0, Worker: 0, Phase: PhaseVertexCompute, DurNS: 70},
+				{Superstep: 1, Worker: 0, Phase: PhaseVertexCompute, DurNS: 30},
+			},
+			phase:   "vertex-compute",
+			wantRow: true, workers: 1, maxNS: 100, medianNS: 100, skew: 1,
+			totalPhase: 1,
+		},
+		{
+			name: "two workers: median is the upper middle (skew 1 by design)",
+			spans: []Span{
+				{Worker: 0, Phase: PhaseVertexCompute, DurNS: 10},
+				{Worker: 1, Phase: PhaseVertexCompute, DurNS: 40},
+			},
+			phase:   "vertex-compute",
+			wantRow: true, workers: 2, maxNS: 40, medianNS: 40, skew: 1,
+			totalPhase: 1,
+		},
+		{
+			name: "engine scope counts as one worker",
+			spans: []Span{
+				{Worker: -1, Phase: PhaseMaster, DurNS: 5},
+				{Worker: -1, Phase: PhaseMaster, DurNS: 7},
+			},
+			phase:   "master",
+			wantRow: true, workers: 1, maxNS: 12, medianNS: 12, skew: 1,
+			totalPhase: 1,
+		},
+		{
+			name: "straggler dominates odd worker count",
+			spans: []Span{
+				{Worker: 0, Phase: PhaseVertexCompute, DurNS: 10},
+				{Worker: 1, Phase: PhaseVertexCompute, DurNS: 20},
+				{Worker: 2, Phase: PhaseVertexCompute, DurNS: 100},
+			},
+			phase:   "vertex-compute",
+			wantRow: true, workers: 3, maxNS: 100, medianNS: 20, skew: 5,
+			totalPhase: 1,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rep := Skew(tc.spans)
+			if len(rep.Phases) != tc.totalPhase {
+				t.Fatalf("report has %d phase rows, want %d", len(rep.Phases), tc.totalPhase)
+			}
+			row, ok := rep.Row(tc.phase)
+			if ok != tc.wantRow {
+				t.Fatalf("Row(%q) present=%v, want %v", tc.phase, ok, tc.wantRow)
+			}
+			if !tc.wantRow {
+				return
+			}
+			if row.Workers != tc.workers || row.MaxNS != tc.maxNS ||
+				row.MedianNS != tc.medianNS || row.Skew != tc.skew {
+				t.Errorf("row = %+v, want workers=%d max=%d median=%d skew=%v",
+					row, tc.workers, tc.maxNS, tc.medianNS, tc.skew)
+			}
+		})
+	}
+}
+
+// Chunk spans group by executor (not owning worker) and feed the stolen
+// counters: a trace where executor 1 ran everything must report one
+// busy scope and attribute the moved chunks' time to stealing.
+func TestSkewReportChunkExecutorGrouping(t *testing.T) {
+	spans := []Span{
+		// Worker 0's two chunks, one stolen by executor 1.
+		{Worker: 0, Phase: PhaseChunk, Executor: 0, DurNS: 50},
+		{Worker: 0, Phase: PhaseChunk, Executor: 1, Stolen: true, DurNS: 30},
+		// Worker 1's chunk, run in place.
+		{Worker: 1, Phase: PhaseChunk, Executor: 1, DurNS: 20},
+	}
+	rep := Skew(spans)
+	row, ok := rep.Row("chunk")
+	if !ok {
+		t.Fatal("no chunk row")
+	}
+	if row.Workers != 2 {
+		t.Errorf("chunk scopes = %d, want 2 (executors 0 and 1)", row.Workers)
+	}
+	// Executor totals: ex0 = 50, ex1 = 30+20 = 50.
+	if row.MaxNS != 50 || row.MedianNS != 50 || row.Skew != 1 {
+		t.Errorf("chunk row = %+v, want balanced executors at 50ns", row)
+	}
+	if row.StolenSpans != 1 || row.StolenNS != 30 {
+		t.Errorf("stolen = %d spans / %dns, want 1 / 30", row.StolenSpans, row.StolenNS)
+	}
+	if !strings.Contains(rep.String(), "stolen") {
+		t.Error("String() missing stolen column")
+	}
+
+	// A vertex-compute span keeps worker grouping and contributes nothing
+	// to the stolen counters even with Executor/Stolen set (they are
+	// chunk-span fields).
+	rep = Skew([]Span{
+		{Worker: 0, Phase: PhaseVertexCompute, Executor: 3, Stolen: true, DurNS: 10},
+	})
+	row, _ = rep.Row("vertex-compute")
+	if row.MaxWorker != 0 || row.StolenSpans != 0 {
+		t.Errorf("non-chunk span leaked executor grouping: %+v", row)
+	}
+}

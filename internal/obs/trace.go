@@ -19,6 +19,7 @@ const (
 	PhaseBarrier
 	PhaseCheckpoint
 	PhaseRecovery
+	PhaseChunk
 	PhaseRun
 )
 
@@ -29,6 +30,7 @@ var phaseNames = [...]string{
 	PhaseBarrier:       "barrier",
 	PhaseCheckpoint:    "checkpoint",
 	PhaseRecovery:      "recovery",
+	PhaseChunk:         "chunk",
 	PhaseRun:           "run",
 }
 
@@ -68,6 +70,12 @@ func (p *Phase) UnmarshalJSON(b []byte) error {
 // run to run. Spans from supersteps later undone by crash recovery stay
 // in the trace: the trace records what the engine did, while Stats
 // records the converged outcome.
+//
+// PhaseChunk spans attribute one scheduling chunk of a worker's vertex
+// phase: Worker is the partition that owns the chunk, Executor the pool
+// goroutine that ran it, and Stolen marks the two differing (work
+// stealing moved the chunk). For every other phase Executor and Stolen
+// are zero-valued and omitted from JSON.
 type Span struct {
 	Superstep   int    `json:"superstep"`
 	Worker      int    `json:"worker"`
@@ -78,6 +86,8 @@ type Span struct {
 	Messages    int64  `json:"messages,omitempty"`
 	Bytes       int64  `json:"bytes,omitempty"`
 	VertexCalls int64  `json:"vertex_calls,omitempty"`
+	Executor    int    `json:"executor,omitempty"`
+	Stolen      bool   `json:"stolen,omitempty"`
 }
 
 // Observer receives trace spans. The engine calls ObserveSpan from a

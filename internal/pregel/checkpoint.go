@@ -230,7 +230,11 @@ func (e *engine) encodeState() []byte {
 	}
 	w.u32(uint32(len(e.workers)))
 	for _, wk := range e.workers {
-		w.i64(wk.rngSrc.draws)
+		// Layout compatibility: v2 reserved a per-worker RNG draw count
+		// here. Vertex RNG streams are now seeded per (vertex, superstep)
+		// and carry no position, so the slot is written as zero and
+		// ignored on decode.
+		w.i64(0)
 		w.u32(uint32(len(wk.active)))
 		for _, a := range wk.active {
 			w.bool(a)
@@ -310,7 +314,7 @@ func (e *engine) decodeState(data []byte) error {
 		return fmt.Errorf("worker count mismatch: %d vs %d", n, len(e.workers))
 	}
 	for _, wk := range e.workers {
-		wk.rngSrc.jump(r.i64())
+		r.i64() // reserved per-worker RNG draw count (always zero; see encode)
 		if n := int(r.u32()); n != len(wk.active) {
 			return fmt.Errorf("worker %d active-flag count mismatch", wk.index)
 		}
@@ -338,20 +342,43 @@ func (e *engine) decodeState(data []byte) error {
 			wk.inOff[i] = int32(r.u32())
 		}
 		wk.inTotal = len(wk.inFlat)
-		// Transients a crashed superstep may have dirtied. Outbox slices
-		// and the combiner index keep their capacity: replay reuses them.
+		// Transients a crashed superstep may have dirtied. Outbox, raw-log
+		// and box slices keep their capacity: replay reuses them. Chunk
+		// active counters are recomputed from the restored flags so the
+		// chunk/worker invariant holds before the next vertex phase.
 		for d := range wk.outboxes {
 			wk.outboxes[d] = wk.outboxes[d][:0]
 		}
 		if wk.combineIdx != nil {
 			clear(wk.combineIdx)
 		}
-		for s := range wk.aggLocal {
-			wk.aggLocal[s] = aggCell{}
+		for ci := range wk.chunks {
+			ck := &wk.chunks[ci]
+			na := int32(0)
+			for li := ck.lo; li < ck.hi; li++ {
+				if wk.active[li] {
+					na++
+				}
+			}
+			ck.numActive = na
+			for d := range ck.boxes {
+				ck.boxes[d] = ck.boxes[d][:0]
+			}
+			ck.raw = ck.raw[:0]
+			for s := range ck.agg {
+				ck.agg[s] = aggCell{}
+			}
+			ck.msgs, ck.netMsgs, ck.netBytes, ck.localBytes, ck.calls = 0, 0, 0, 0, 0
+			ck.err = nil
 		}
-		wk.msgs, wk.netMsgs, wk.netBytes, wk.localBytes, wk.calls = 0, 0, 0, 0, 0
-		wk.err = nil
+		wk.msgs, wk.netMsgs, wk.netBytes, wk.localBytes = 0, 0, 0, 0
+		wk.cursor.Store(0)
+		wk.crashed.Store(false)
 		wk.faultAt = -1
+	}
+	for _, x := range e.executors {
+		x.err = nil
+		x.rngStep = -1
 	}
 	if r.bad {
 		return fmt.Errorf("truncated checkpoint (%d bytes)", len(data))

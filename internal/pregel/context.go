@@ -103,10 +103,14 @@ func (mc *MasterContext) PickRandomNode() graph.NodeID {
 	return graph.NodeID(mc.e.masterRand.Intn(n))
 }
 
-// VertexContext is the API surface of vertex.compute(). A single value is
-// reused across a worker's vertices within a superstep; do not retain it.
+// VertexContext is the API surface of vertex.compute(). One value lives
+// on each executor and is reused across every vertex that executor runs
+// within a superstep — under work stealing those may belong to several
+// workers' chunks; do not retain it.
 type VertexContext struct {
-	wk        *worker
+	ex        *executor
+	wk        *worker // owner of the vertex currently executing
+	ck        *chunk  // chunk the vertex belongs to
 	superstep int
 	id        graph.NodeID
 	local     int
@@ -136,15 +140,98 @@ func (vc *VertexContext) OutEdgeRange() (lo, hi int64) { return vc.wk.e.g.OutEdg
 // superstep, grouped deterministically (source-worker order).
 func (vc *VertexContext) Messages() []Msg { return vc.msgs }
 
+// deliver records one outgoing message on the current chunk. Plain jobs
+// box it by destination worker immediately; combiner jobs log the raw
+// emission for the worker-scoped fold pass (or, when the worker is a
+// single chunk and therefore exclusively executed, fold it in place).
+// Either way the message's eventual position depends only on its
+// (worker, chunk, emission-index) coordinates, not on the executor.
+func (vc *VertexContext) deliver(m Msg) {
+	wk := vc.wk
+	if wk.combiners != nil {
+		if wk.single {
+			wk.foldSend(m)
+		} else {
+			vc.ck.raw = append(vc.ck.raw, m)
+		}
+		return
+	}
+	ck := vc.ck
+	dw := wk.ownerOf(m.Dst)
+	ck.boxes[dw] = append(ck.boxes[dw], m)
+	ck.msgs++
+	size := wk.baseSize
+	if int(m.Type) < len(wk.msgSize) {
+		size = wk.msgSize[m.Type]
+	}
+	if dw != wk.index {
+		ck.netMsgs++
+		ck.netBytes += size
+	} else {
+		ck.localBytes += size
+	}
+}
+
 // Send sends m to dst, delivered next superstep.
 func (vc *VertexContext) Send(dst graph.NodeID, m Msg) {
 	m.Dst = dst
-	vc.wk.send(vc.id, m)
+	vc.deliver(m)
 }
 
 // SendToAllNbrs sends a copy of m to every out-neighbor.
 func (vc *VertexContext) SendToAllNbrs(m Msg) {
-	vc.wk.sendToAll(vc.id, vc.wk.e.g.OutNbrs(vc.id), m)
+	nbrs := vc.wk.e.g.OutNbrs(vc.id)
+	wk := vc.wk
+	if wk.combiners != nil {
+		if wk.single {
+			for _, d := range nbrs {
+				m.Dst = d
+				wk.foldSend(m)
+			}
+		} else {
+			for _, d := range nbrs {
+				m.Dst = d
+				vc.ck.raw = append(vc.ck.raw, m)
+			}
+		}
+		return
+	}
+	// Plain bulk path: hoist the per-message size and branch on the
+	// partitioner once.
+	ck := vc.ck
+	size := wk.baseSize
+	if int(m.Type) < len(wk.msgSize) {
+		size = wk.msgSize[m.Type]
+	}
+	self := wk.index
+	if wk.pblocks == nil {
+		div := wk.div
+		for _, d := range nbrs {
+			m.Dst = d
+			dw := int(div.mod(uint32(d)))
+			ck.boxes[dw] = append(ck.boxes[dw], m)
+			if dw != self {
+				ck.netMsgs++
+				ck.netBytes += size
+			} else {
+				ck.localBytes += size
+			}
+		}
+	} else {
+		pb, sh := wk.pblocks, wk.pshift
+		for _, d := range nbrs {
+			m.Dst = d
+			dw := int(pb[uint32(d)>>sh])
+			ck.boxes[dw] = append(ck.boxes[dw], m)
+			if dw != self {
+				ck.netMsgs++
+				ck.netBytes += size
+			} else {
+				ck.localBytes += size
+			}
+		}
+	}
+	ck.msgs += int64(len(nbrs))
 }
 
 // VoteToHalt deactivates this vertex; it is reactivated when a message
@@ -152,7 +239,7 @@ func (vc *VertexContext) SendToAllNbrs(m Msg) {
 func (vc *VertexContext) VoteToHalt() {
 	if vc.wk.active[vc.local] {
 		vc.wk.active[vc.local] = false
-		vc.wk.numActive--
+		vc.ck.numActive--
 	}
 }
 
@@ -174,13 +261,16 @@ func (vc *VertexContext) GlobalNode(s int) graph.NodeID {
 
 // AggInt contributes an int value to aggregator slot s; merged with the
 // slot's declared reduction and visible to the master next superstep.
+// Contributions accumulate on the chunk and are merged at the barrier in
+// canonical (worker, chunk) order, so the merged value is independent of
+// the execution schedule.
 func (vc *VertexContext) AggInt(s int, v int64) {
-	vc.wk.aggLocal[s].merge(vc.wk.e.schema.Aggregators[s], aggCell{set: true, i: v})
+	vc.ck.agg[s].merge(vc.wk.e.schema.Aggregators[s], aggCell{set: true, i: v})
 }
 
 // AggFloat contributes a float value to aggregator slot s.
 func (vc *VertexContext) AggFloat(s int, v float64) {
-	vc.wk.aggLocal[s].merge(vc.wk.e.schema.Aggregators[s], aggCell{set: true, f: v})
+	vc.ck.agg[s].merge(vc.wk.e.schema.Aggregators[s], aggCell{set: true, f: v})
 }
 
 // AggBool contributes a bool value to aggregator slot s.
@@ -189,15 +279,33 @@ func (vc *VertexContext) AggBool(s int, v bool) {
 	if v {
 		c.i = 1
 	}
-	vc.wk.aggLocal[s].merge(vc.wk.e.schema.Aggregators[s], c)
+	vc.ck.agg[s].merge(vc.wk.e.schema.Aggregators[s], c)
 }
 
-// Rand returns this worker's seeded RNG.
-func (vc *VertexContext) Rand() *rand.Rand { return vc.wk.rng }
+// Rand returns a seeded RNG whose stream is a pure function of the run
+// seed, this vertex's ID, and the superstep — independent of chunk size,
+// stealing, worker count, and partitioning. The stream restarts each
+// superstep, so a rolled-back replay redraws identical values.
+func (vc *VertexContext) Rand() *rand.Rand {
+	x := vc.ex
+	if x.rngID != vc.id || x.rngStep != vc.superstep {
+		x.rngID, x.rngStep = vc.id, vc.superstep
+		x.rngSrc.Seed(int64(x.seedBase ^ mix64(uint64(uint32(vc.id))<<20|uint64(uint32(vc.superstep)))))
+	}
+	return x.rng
+}
 
-// WorkerIndex returns the index of the worker executing this vertex
-// (stable for a run; useful for per-worker scratch storage in jobs).
+// WorkerIndex returns the index of the worker owning this vertex (stable
+// for a run regardless of which executor runs the chunk; useful for
+// partition-scoped storage in jobs).
 func (vc *VertexContext) WorkerIndex() int { return vc.wk.index }
 
-// NumWorkers returns the number of workers in this run.
+// ExecutorIndex returns the index of the executor goroutine running this
+// vertex. Under work stealing this may differ from WorkerIndex; scratch
+// state a job mutates during compute must be indexed by executor, not
+// worker, to stay race-free.
+func (vc *VertexContext) ExecutorIndex() int { return vc.ex.id }
+
+// NumWorkers returns the number of workers in this run (also the number
+// of executors).
 func (vc *VertexContext) NumWorkers() int { return vc.wk.e.numWorkers }

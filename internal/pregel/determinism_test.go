@@ -147,6 +147,127 @@ func TestVertexOutputsInvariantAcrossWorkerCounts(t *testing.T) {
 	}
 }
 
+// The tentpole determinism criterion: for a fixed worker count, Stats
+// and outputs are bit-identical across chunk sizes {1, 16, 64} and
+// stealing on/off — chunked execution and work stealing are pure
+// scheduling changes. (The jobs here use int and float-min/max
+// aggregators; float AggSum is the one reduction whose bits may vary
+// with chunk geometry, documented in docs/ENGINE.md.)
+func TestSchedulingDeterminism(t *testing.T) {
+	const n, steps = 53, 6
+	g := gen.TwitterLike(n, 5, 13)
+	type sched struct {
+		chunk   int
+		noSteal bool
+	}
+	grid := []sched{
+		{0, false}, {0, true},
+		{1, false}, {1, true},
+		{16, false}, {16, true},
+		{64, false}, {64, true},
+	}
+	var labelRef []int64 // across worker counts too
+	for _, w := range workerCounts() {
+		var refStats *Stats
+		var refObs [][3]int64
+		var refLabels []int64
+		for _, s := range grid {
+			cfg := Config{NumWorkers: w, Seed: 21, TraceSteps: true,
+				ChunkSize: s.chunk, NoSteal: s.noSteal}
+			j := &aggDetJob{steps: steps}
+			st, err := Run(g, j, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			labels, lst := runMinLabel(t, g, n, cfg)
+			if refStats == nil {
+				refStats, refObs, refLabels = &st, j.Observed, labels
+				_ = lst
+				continue
+			}
+			if !reflect.DeepEqual(st, *refStats) {
+				t.Errorf("W=%d chunk=%d nosteal=%v: Stats differ from default schedule:\n%+v\n%+v",
+					w, s.chunk, s.noSteal, st, *refStats)
+			}
+			if !reflect.DeepEqual(j.Observed, refObs) {
+				t.Errorf("W=%d chunk=%d nosteal=%v: aggregator sequences differ from default schedule",
+					w, s.chunk, s.noSteal)
+			}
+			if !reflect.DeepEqual(labels, refLabels) {
+				t.Errorf("W=%d chunk=%d nosteal=%v: min-label outputs differ from default schedule",
+					w, s.chunk, s.noSteal)
+			}
+		}
+		if labelRef == nil {
+			labelRef = refLabels
+		} else if !reflect.DeepEqual(labelRef, refLabels) {
+			t.Errorf("W=%d: min-label outputs differ across worker counts", w)
+		}
+	}
+}
+
+// The degree-aware partitioner changes vertex placement, not semantics:
+// outputs and the partition-invariant counters match mod partitioning
+// for every worker count, and a degree-partitioned run is itself
+// bit-reproducible.
+func TestDegreePartitionerDeterminism(t *testing.T) {
+	const n = 80
+	g := gen.TwitterLike(n, 5, 23)
+	for _, w := range workerCounts() {
+		mod := Config{NumWorkers: w, Seed: 8}
+		deg := Config{NumWorkers: w, Seed: 8, Partitioner: PartitionDegree}
+		mLabels, mSt := runMinLabel(t, g, n, mod)
+		dLabels, dSt := runMinLabel(t, g, n, deg)
+		dLabels2, dSt2 := runMinLabel(t, g, n, deg)
+		if !reflect.DeepEqual(dLabels, dLabels2) || !reflect.DeepEqual(dSt, dSt2) {
+			t.Errorf("W=%d: degree-partitioned run not reproducible", w)
+		}
+		if !reflect.DeepEqual(mLabels, dLabels) {
+			t.Errorf("W=%d: degree-partitioned outputs differ from mod", w)
+		}
+		// Placement-dependent counters (network vs local bytes) may differ;
+		// the semantic ones must not.
+		if mSt.Supersteps != dSt.Supersteps || mSt.MessagesSent != dSt.MessagesSent ||
+			mSt.VertexCalls != dSt.VertexCalls || mSt.ControlBytes != dSt.ControlBytes {
+			t.Errorf("W=%d: semantic counters differ under degree partitioning:\nmod:    %+v\ndegree: %+v",
+				w, mSt, dSt)
+		}
+		if mSt.NetworkBytes+mSt.LocalBytes != dSt.NetworkBytes+dSt.LocalBytes {
+			t.Errorf("W=%d: total message bytes differ under degree partitioning", w)
+		}
+	}
+}
+
+// Crash-recovery replay stays bit-identical under the chunked, stealing
+// scheduler (including with degree partitioning): the mid-phase crash
+// leaves partially-executed chunks behind, and rollback must fully
+// rebuild chunk state from the checkpoint.
+func TestFaultRecoveryBitIdenticalChunked(t *testing.T) {
+	const n = 60
+	g := gen.TwitterLike(n, 4, 11)
+	for _, part := range []PartitionKind{PartitionMod, PartitionDegree} {
+		base := Config{NumWorkers: 4, Seed: 3, TraceSteps: true, ChunkSize: 16, Partitioner: part}
+		labels, st := runMinLabel(t, g, n, base)
+
+		faulty := base
+		faulty.CheckpointEvery = 3
+		faulty.Faults = FaultPlan{
+			{Superstep: 2, Worker: 1},
+			{Superstep: 4, Worker: 3},
+		}
+		fLabels, fst := runMinLabel(t, g, n, faulty)
+		if !reflect.DeepEqual(labels, fLabels) {
+			t.Errorf("part=%d: fault-injected labels differ from fault-free chunked run", part)
+		}
+		if a, b := statsModuloRecovery(st), statsModuloRecovery(fst); !reflect.DeepEqual(a, b) {
+			t.Errorf("part=%d: fault-injected stats differ:\nfault-free: %+v\nfaulty:     %+v", part, a, b)
+		}
+		if fst.Recoveries != 2 {
+			t.Errorf("part=%d: Recoveries = %d, want 2", part, fst.Recoveries)
+		}
+	}
+}
+
 // orderAllJob records every vertex's received payloads in arrival order
 // for two message waves.
 type orderAllJob struct {

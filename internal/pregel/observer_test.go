@@ -96,6 +96,84 @@ func TestObserverSpanPhases(t *testing.T) {
 	}
 }
 
+// Chunk spans attribute every scheduling chunk of the vertex phase:
+// one span per chunk per superstep, owner in Worker, executing pool
+// goroutine in Executor, Stolen marking the two differing. Their
+// per-worker sums equal the aggregated vertex-compute spans, and the
+// skew report derives executor-grouped chunk rows from them.
+func TestObserverChunkSpans(t *testing.T) {
+	const n, workers, chunkSize = 120, 4, 8
+	g := gen.TwitterLike(n, 5, 17)
+	ring := obs.NewRing(1 << 16)
+	j := &minLabelJob{label: make([]int64, n)}
+	st, err := Run(g, j, Config{NumWorkers: workers, Seed: 3, ChunkSize: chunkSize, Observer: ring})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spans := ring.Spans()
+	chunksPerStep := 0
+	for w := 0; w < workers; w++ {
+		nw := (n - w + workers - 1) / workers
+		chunksPerStep += (nw + chunkSize - 1) / chunkSize
+	}
+	var chunkSpans []obs.Span
+	vertexTotals := map[[2]int][3]int64{} // (step, worker) -> msgs, bytes, calls
+	for _, s := range spans {
+		switch s.Phase {
+		case obs.PhaseChunk:
+			chunkSpans = append(chunkSpans, s)
+			if s.Worker < 0 || s.Worker >= workers || s.Executor < 0 || s.Executor >= workers {
+				t.Fatalf("chunk span with bad attribution: %+v", s)
+			}
+			if s.Stolen != (s.Worker != s.Executor) {
+				t.Fatalf("chunk span stolen flag inconsistent: %+v", s)
+			}
+		case obs.PhaseVertexCompute:
+			vertexTotals[[2]int{s.Superstep, s.Worker}] = [3]int64{s.Messages, s.Bytes, s.VertexCalls}
+		}
+	}
+	if got, want := len(chunkSpans), st.Supersteps*chunksPerStep; got != want {
+		t.Fatalf("chunk spans = %d, want %d (%d chunks x %d supersteps)",
+			got, want, chunksPerStep, st.Supersteps)
+	}
+	sums := map[[2]int][3]int64{}
+	for _, s := range chunkSpans {
+		k := [2]int{s.Superstep, s.Worker}
+		v := sums[k]
+		v[0] += s.Messages
+		v[1] += s.Bytes
+		v[2] += s.VertexCalls
+		sums[k] = v
+	}
+	for k, want := range vertexTotals {
+		if got := sums[k]; got != want {
+			t.Errorf("step %d worker %d: chunk span sums %v != vertex-compute span %v",
+				k[0], k[1], got, want)
+		}
+	}
+	// The skew report groups the chunk rows by executor.
+	rep := obs.Skew(spans)
+	row, ok := rep.Row("chunk")
+	if !ok {
+		t.Fatal("skew report missing chunk row")
+	}
+	if row.Spans != len(chunkSpans) || row.Workers < 1 || row.Workers > workers {
+		t.Errorf("chunk skew row %+v inconsistent with %d spans", row, len(chunkSpans))
+	}
+	// With NoSteal every chunk must be run by its owner.
+	ring2 := obs.NewRing(1 << 16)
+	j2 := &minLabelJob{label: make([]int64, n)}
+	if _, err := Run(g, j2, Config{NumWorkers: workers, Seed: 3, ChunkSize: chunkSize,
+		NoSteal: true, Observer: ring2}); err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range ring2.Spans() {
+		if s.Phase == obs.PhaseChunk && (s.Stolen || s.Executor != s.Worker) {
+			t.Fatalf("NoSteal run emitted stolen chunk span: %+v", s)
+		}
+	}
+}
+
 // A crash-and-recover run emits recovery spans and keeps the rolled-back
 // supersteps visible in the trace (Stats rewinds; the trace does not).
 func TestObserverRecoveryVisibleInTrace(t *testing.T) {

@@ -98,9 +98,17 @@ func TestFastDiv(t *testing.T) {
 	}
 }
 
-// resetOutbound mimics the start of runStep: truncate the worker's
-// outboxes and clear (retain) its combiner index.
+// resetOutbound mimics the start of a vertex phase: truncate the
+// worker's chunk boxes, raw logs, and combiner outboxes, clearing
+// (retaining) the combiner index.
 func resetOutbound(wk *worker) {
+	for ci := range wk.chunks {
+		ck := &wk.chunks[ci]
+		for d := range ck.boxes {
+			ck.boxes[d] = ck.boxes[d][:0]
+		}
+		ck.raw = ck.raw[:0]
+	}
 	for d := range wk.outboxes {
 		wk.outboxes[d] = wk.outboxes[d][:0]
 	}
@@ -109,22 +117,37 @@ func resetOutbound(wk *worker) {
 	}
 }
 
-// Satellite: worker.send must be allocation-free in steady state, on
-// both the plain and the combiner path.
+// sendContext wires executor 0's reused VertexContext to worker wk's
+// chunk ci, the way runChunk does before invoking vertex compute.
+func sendContext(e *engine, wk *worker, ci int) *VertexContext {
+	vc := &e.executors[0].vc
+	vc.wk = wk
+	vc.ck = &wk.chunks[ci]
+	vc.id = wk.ids[0]
+	vc.local = 0
+	return vc
+}
+
+// Satellite: send must be allocation-free in steady state, on the plain
+// chunk-box path, the single-chunk direct combiner path, and the
+// multi-chunk raw-log + fold path.
 func TestSendSteadyStateZeroAlloc(t *testing.T) {
 	const n = 64
 	g := gen.Ring(n)
-	run := func(t *testing.T, job Job) {
-		e := newEngine(g, job, Config{NumWorkers: 4, Seed: 1}.withDefaults())
+	run := func(t *testing.T, job Job, cfg Config, fold bool) {
+		e := newEngine(g, job, cfg.withDefaults())
 		defer e.stop()
 		wk := e.workers[0]
 		var m Msg
 		m.SetFloat(0, 1)
+		vc := sendContext(e, wk, 0)
 		cycle := func() {
 			resetOutbound(wk)
 			for i := 0; i < n; i++ {
-				m.Dst = graph.NodeID(i)
-				wk.send(wk.ids[0], m)
+				vc.Send(graph.NodeID(i), m)
+			}
+			if fold {
+				wk.fold()
 			}
 		}
 		cycle() // reach high-water outbox and index capacity
@@ -132,59 +155,100 @@ func TestSendSteadyStateZeroAlloc(t *testing.T) {
 			t.Fatalf("steady-state send allocates %v per superstep, want 0", a)
 		}
 	}
-	t.Run("plain", func(t *testing.T) { run(t, newPerfRankJob(n, 4)) })
-	t.Run("combined", func(t *testing.T) { run(t, &perfCombJob{steps: 4}) })
+	t.Run("plain", func(t *testing.T) {
+		run(t, newPerfRankJob(n, 4), Config{NumWorkers: 4, Seed: 1}, false)
+	})
+	t.Run("combined-single-chunk", func(t *testing.T) {
+		// 16 vertices per worker, default chunking => one chunk: sends fold
+		// directly into the worker outboxes.
+		run(t, &perfCombJob{steps: 4}, Config{NumWorkers: 4, Seed: 1}, false)
+	})
+	t.Run("combined-raw-fold", func(t *testing.T) {
+		// ChunkSize 4 => multi-chunk worker: sends log raw emissions and
+		// the fold replay combines them.
+		run(t, &perfCombJob{steps: 4}, Config{NumWorkers: 4, Seed: 1, ChunkSize: 4}, true)
+	})
 }
 
-// Satellite: a warm superstep — vertex phase plus message routing on the
-// persistent pool — must allocate nothing. This also proves no
-// per-superstep goroutine creation: a spawned goroutine costs at least
-// one allocation, and this test demands zero.
+// Satellite: a warm superstep — chunked vertex phase plus segmented
+// message routing on the persistent pool — must allocate nothing, under
+// every scheduling configuration: default chunking, explicit small
+// chunks with and without stealing, and degree-aware partitioning. This
+// also proves no per-superstep goroutine creation: a spawned goroutine
+// costs at least one allocation, and this test demands zero.
 func TestWarmRoutingZeroAlloc(t *testing.T) {
 	const n = 256
 	g := gen.TwitterLike(n, 4, 3)
-	j := newPerfRankJob(n, 1<<20)
-	e := newEngine(g, j, Config{NumWorkers: 4, Seed: 1}.withDefaults())
-	defer e.stop()
-	step := 0
-	cycle := func() {
-		e.runPhase(phaseVertex, step)
-		e.routeMessages()
-		step++
+	cases := []struct {
+		name string
+		cfg  Config
+	}{
+		{"default", Config{NumWorkers: 4, Seed: 1}},
+		{"chunk16-steal", Config{NumWorkers: 4, Seed: 1, ChunkSize: 16}},
+		{"chunk16-nosteal", Config{NumWorkers: 4, Seed: 1, ChunkSize: 16, NoSteal: true}},
+		{"degree", Config{NumWorkers: 4, Seed: 1, Partitioner: PartitionDegree}},
 	}
-	for i := 0; i < 3; i++ {
-		cycle() // reach high-water inbox/outbox capacity
-	}
-	if a := testing.AllocsPerRun(10, cycle); a != 0 {
-		t.Fatalf("warm superstep allocates %v per run, want 0", a)
-	}
-	for _, wk := range e.workers {
-		if wk.err != nil {
-			t.Fatalf("worker %d failed: %v", wk.index, wk.err)
-		}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			j := newPerfRankJob(n, 1<<20)
+			e := newEngine(g, j, tc.cfg.withDefaults())
+			defer e.stop()
+			step := 0
+			cycle := func() {
+				e.runVertexPhase(step)
+				e.routeMessages()
+				step++
+			}
+			for i := 0; i < 3; i++ {
+				cycle() // reach high-water inbox/outbox capacity
+			}
+			if a := testing.AllocsPerRun(10, cycle); a != 0 {
+				t.Fatalf("warm superstep allocates %v per run, want 0", a)
+			}
+			for _, x := range e.executors {
+				if x.err != nil {
+					t.Fatalf("executor %d failed: %v", x.id, x.err)
+				}
+			}
+			for _, wk := range e.workers {
+				for ci := range wk.chunks {
+					if err := wk.chunks[ci].err; err != nil {
+						t.Fatalf("worker %d chunk %d failed: %v", wk.index, ci, err)
+					}
+				}
+			}
+		})
 	}
 }
 
 // Satellite: the combiner index map is cleared and retained across
 // supersteps (not re-allocated), and a multi-superstep combined run
 // keeps the post-combine Stats contract: one message per worker per
-// sending superstep, reproducibly.
+// sending superstep, reproducibly — and bit-identically whether sends
+// fold directly (single chunk) or through the raw-log replay (chunked),
+// because the fold replays the exact emission order.
 func TestCombinerIndexRetained(t *testing.T) {
 	const n, steps, workers = 40, 6, 4
 	g := gen.Ring(n)
-	runOnce := func() (Stats, *engine) {
+	runOnce := func(chunkSize int) (Stats, *engine) {
 		j := &perfCombJob{steps: steps}
-		e := newEngine(g, j, Config{NumWorkers: workers, Seed: 3}.withDefaults())
+		cfg := Config{NumWorkers: workers, Seed: 3, ChunkSize: chunkSize}
+		e := newEngine(g, j, cfg.withDefaults())
 		defer e.stop()
 		if err := e.loop(context.Background()); err != nil {
 			t.Fatal(err)
 		}
 		return e.stats, e
 	}
-	st1, e := runOnce()
-	st2, _ := runOnce()
+	st1, e := runOnce(0)
+	st2, _ := runOnce(0)
 	if !reflect.DeepEqual(st1, st2) {
 		t.Fatalf("combined-run Stats not reproducible:\n%+v\n%+v", st1, st2)
+	}
+	// Chunked run (ChunkSize 3 => raw-log + fold path): identical Stats.
+	st3, _ := runOnce(3)
+	if !reflect.DeepEqual(st1, st3) {
+		t.Fatalf("chunked combined-run Stats differ from single-chunk:\n%+v\n%+v", st1, st3)
 	}
 	// steps sending supersteps, each combining n sends into one message
 	// per worker.
@@ -289,14 +353,14 @@ func BenchmarkSuperstepPageRank(b *testing.B) {
 	defer e.stop()
 	step := 0
 	for i := 0; i < 3; i++ {
-		e.runPhase(phaseVertex, step)
+		e.runVertexPhase(step)
 		e.routeMessages()
 		step++
 	}
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		e.runPhase(phaseVertex, step)
+		e.runVertexPhase(step)
 		e.routeMessages()
 		step++
 	}
@@ -315,8 +379,10 @@ func BenchmarkRouting(b *testing.B) {
 		m.SetFloat(0, 1)
 		for _, wk := range e.workers {
 			resetOutbound(wk)
+			vc := sendContext(e, wk, 0)
 			for _, v := range wk.ids {
-				wk.sendToAll(v, g.OutNbrs(v), m)
+				vc.id = v
+				vc.SendToAllNbrs(m)
 			}
 		}
 	}
@@ -342,11 +408,11 @@ func BenchmarkSendCombined(b *testing.B) {
 	wk := e.workers[0]
 	var m Msg
 	m.SetFloat(0, 1)
+	vc := sendContext(e, wk, 0)
 	cycle := func() {
 		resetOutbound(wk)
 		for i := 0; i < n; i++ {
-			m.Dst = graph.NodeID(i)
-			wk.send(wk.ids[0], m)
+			vc.Send(graph.NodeID(i), m)
 		}
 	}
 	cycle()

@@ -8,14 +8,24 @@
 // superstep, a global-objects map for master→vertex broadcast, reduction
 // aggregators for vertex→master communication, and voteToHalt().
 //
-// Vertices are hash-partitioned (id mod W) across W persistent worker
-// goroutines, spawned once per run and parked on a reusable barrier
-// between phases (see docs/ENGINE.md, "Hot path and scheduling").
+// Vertices are partitioned across W workers — hash partitioning
+// (id mod W) by default, or degree-aware contiguous ranges with
+// Config.Partitioner — and executed by W persistent executor goroutines,
+// spawned once per run and parked on a reusable barrier between phases.
+// Within a superstep each worker's vertex-compute and routing work is
+// split into fixed-size chunks pulled from shared queues; an executor
+// that drains its own worker's chunks deterministically steals remaining
+// chunks from the most-loaded worker (see docs/ENGINE.md, "Hot path and
+// scheduling"). Results and Stats are independent of which executor runs
+// a chunk: per-chunk output is merged at the barrier in canonical
+// (worker, chunk) order, combiner folding is worker-scoped, and
+// vertex-level RNG streams are seeded per (vertex, superstep).
+//
 // Messages between vertices on different workers are accounted as
 // network I/O at their serialized wire size; master broadcast and
 // aggregator traffic is accounted separately as control I/O. Runs are
 // deterministic for a fixed configuration and seed: inboxes are grouped
-// in source-worker order and each worker's RNG is seeded from Config.Seed.
+// in source-worker order regardless of chunk size or stealing.
 package pregel
 
 import (
@@ -26,7 +36,9 @@ import (
 	"math/bits"
 	"math/rand"
 	"runtime"
+	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"gmpregel/internal/graph"
@@ -81,7 +93,7 @@ func (m *Msg) Node(i int) graph.NodeID { return graph.NodeID(int32(uint32(m.V[i]
 type AggOp uint8
 
 // Aggregator reduction operators. AggAny keeps an arbitrary (but
-// deterministic: highest-indexed contributing worker's last write)
+// deterministic: highest-indexed contributing chunk's last write)
 // contributed value, mirroring the effect of parallel plain writes to a
 // global.
 const (
@@ -133,7 +145,10 @@ type Schema struct {
 	// Combiners optionally provides a combiner per message type (nil
 	// entries disable combining for that type). Combined messages are
 	// merged sender-side, reducing both message count and network bytes;
-	// MessagesSent reports post-combine counts.
+	// MessagesSent reports post-combine counts. Combining is worker-scoped
+	// regardless of chunking: chunks log raw emissions and a fold pass
+	// replays them in emission order, so combined results are bit-identical
+	// across chunk sizes and stealing.
 	Combiners []Combiner
 }
 
@@ -153,10 +168,24 @@ type Config struct {
 	NumWorkers int
 	// MaxSupersteps aborts runaway jobs; 0 means 1 << 20.
 	MaxSupersteps int
-	// Seed seeds all randomness (master and per-worker RNGs).
+	// Seed seeds all randomness (the master RNG and the per-vertex
+	// streams behind VertexContext.Rand).
 	Seed int64
 	// TraceSteps records per-superstep statistics in Stats.Steps.
 	TraceSteps bool
+	// ChunkSize is the number of vertices per scheduling chunk. 0 picks a
+	// default that gives each worker about 16 chunks (at least 64 vertices
+	// per chunk). Results and Stats are chunk-size independent except for
+	// the reduction order of floating-point AggSum aggregators, which is
+	// deterministic per configuration but not bit-portable across chunk
+	// geometries.
+	ChunkSize int
+	// NoSteal pins every chunk to its owning worker's executor,
+	// reproducing the one-static-slab-per-worker schedule of earlier
+	// releases. Results are identical either way; only wall time changes.
+	NoSteal bool
+	// Partitioner selects vertex placement (default PartitionMod).
+	Partitioner PartitionKind
 	// CheckpointEvery takes a recovery checkpoint at the barrier entering
 	// supersteps 0, k, 2k, …. 0 disables periodic checkpointing; when a
 	// fault plan is configured, a single superstep-0 checkpoint is still
@@ -173,11 +202,12 @@ type Config struct {
 	// 0 means no deadline.
 	Deadline time.Duration
 	// Observer, when non-nil, receives a structured trace of the run: one
-	// span per engine phase (master, per-worker vertex compute, barrier,
-	// routing, checkpoint, recovery) plus a final run-scoped span carrying
-	// the authoritative totals. Spans are emitted from the barrier
-	// goroutine, never concurrently. When nil the engine takes no
-	// timestamps and the hot path is identical to an unobserved run.
+	// span per engine phase (master, per-worker vertex compute, per-chunk
+	// execution with executor/steal attribution, barrier, routing,
+	// checkpoint, recovery) plus a final run-scoped span carrying the
+	// authoritative totals. Spans are emitted from the barrier goroutine,
+	// never concurrently. When nil the engine takes no timestamps and the
+	// hot path is identical to an unobserved run.
 	Observer obs.Observer
 }
 
@@ -211,7 +241,7 @@ type StepStats struct {
 // state a superstep executes (the machine executor reports the compiled
 // state-machine state picked by master.compute). The engine queries it
 // after the master phase and attaches the label to that superstep's
-// master and vertex-compute spans.
+// master, vertex-compute, and chunk spans.
 type PhaseLabeler interface {
 	PhaseLabel() string
 }
@@ -296,9 +326,9 @@ func (c *aggCell) merge(spec AggSpec, o aggCell) {
 
 // fastDiv divides nonnegative 32-bit integers by a fixed divisor with a
 // Lemire-style multiply-high, replacing the hardware DIV/MOD that would
-// otherwise run once or twice per message in the hot paths (send picks
-// the owning worker with id mod W; routing recovers the local index with
-// id / W).
+// otherwise run once or twice per message in the hot paths (under mod
+// partitioning, send picks the owning worker with id mod W and routing
+// recovers the local index with id / W).
 type fastDiv struct {
 	m uint64 // ceil(2^64 / d); 0 means d == 1 (identity divide)
 	d uint32
@@ -323,12 +353,15 @@ func (f fastDiv) div(x uint32) uint32 {
 // mod returns x % d.
 func (f fastDiv) mod(x uint32) uint32 { return x - f.div(x)*f.d }
 
-// phaseKind selects the work a parked pool worker runs on wake-up.
+// phaseKind selects the work the parked executor pool runs on wake-up.
 type phaseKind uint8
 
 const (
-	phaseVertex phaseKind = iota // runStep(step)
-	phaseRoute                   // routeInbox()
+	phaseVertex      phaseKind = iota // chunked vertex compute, with stealing
+	phaseFold                         // worker-scoped combiner fold of chunk raw logs
+	phaseRouteCount                   // routing: per-segment destination counts
+	phaseRoutePrefix                  // routing: offsets, inbox resize, reactivation
+	phaseRoutePlace                   // routing: stable placement into the CSR inbox
 )
 
 // poolCmd is one barrier release: the phase to run and its superstep.
@@ -336,6 +369,29 @@ type poolCmd struct {
 	kind phaseKind
 	step int
 }
+
+// defaultChunksPerWorker and minChunkSize shape the automatic chunk
+// size: about 16 chunks per worker, but never chunks smaller than 64
+// vertices (below that, claim overhead dominates).
+const (
+	defaultChunksPerWorker = 16
+	minChunkSize           = 64
+)
+
+func chunkSizeFor(cfgChunk, nw int) int {
+	if cfgChunk > 0 {
+		return cfgChunk
+	}
+	c := (nw + defaultChunksPerWorker - 1) / defaultChunksPerWorker
+	if c < minChunkSize {
+		c = minChunkSize
+	}
+	return c
+}
+
+// maxRouteSegs bounds the per-destination segment fan-out of the chunked
+// routing phase (and the retained per-segment scratch).
+const maxRouteSegs = 8
 
 // engine holds one run's state.
 type engine struct {
@@ -350,11 +406,25 @@ type engine struct {
 	baseSize   int64   // wire bytes independent of payload: 4-byte dst + optional tag
 	msgSize    []int64 // full wire size per declared message type
 
-	workers []*worker
+	// Partitioning. pblocks/pshift are set under PartitionDegree; a nil
+	// pblocks means mod partitioning.
+	pblocks []int32
+	pshift  uint32
+
+	noSteal    bool
+	combActive bool // the job registers at least one combiner
+	foldNeeded bool // combiners and at least one multi-chunk worker
+	maxSegs    int  // routing segments per destination (min(W, maxRouteSegs))
+
+	workers   []*worker
+	executors []*executor
 	// phaseWG is the reusable barrier the master waits on after releasing
-	// the persistent workers into a phase.
+	// the persistent executors into a phase.
 	phaseWG sync.WaitGroup
-	stopped bool
+	// taskCursor is the shared queue cursor for phases whose tasks are not
+	// chunk claims (fold, routing sub-phases); reset before each dispatch.
+	taskCursor atomic.Int64
+	stopped    bool
 
 	globals     []uint64
 	globalBytes int64 // accumulated control bytes from SetGlobal*
@@ -391,64 +461,166 @@ func (e *engine) nowNS() int64 { return time.Since(e.runStart).Nanoseconds() }
 // see concurrent calls.
 func (e *engine) emit(s obs.Span) { e.cfg.Observer.ObserveSpan(s) }
 
-// worker owns the vertices v with v % numWorkers == index. Under this
-// hash partitioning the owned IDs ascend with stride numWorkers, so the
-// local index of an owned vertex is pure arithmetic: local = id / W.
-// Every slice and map below is retained across supersteps — the
-// steady-state superstep allocates nothing.
+// chunk is one fixed-size slice of a worker's vertices: the unit of
+// vertex-phase scheduling. All mutable state a chunk's execution touches
+// lives either here or in per-vertex job state, so any executor can run
+// the chunk; the barrier merges chunk state in canonical (worker, chunk)
+// order, which makes results independent of the execution schedule.
+// Every slice is retained across supersteps.
+type chunk struct {
+	lo, hi int32 // local-index range [lo, hi)
+
+	// boxes are the per-destination-worker outboxes (plain jobs); raw is
+	// the emission log (combiner jobs, multi-chunk workers) replayed by
+	// the fold phase.
+	boxes [][]Msg
+	raw   []Msg
+	agg   []aggCell
+	// numActive counts active vertices in [lo, hi), maintained
+	// incrementally by chunk execution, VoteToHalt, and routing
+	// reactivation.
+	numActive int32
+
+	// per-step counters, merged (and cleared) under the barrier
+	msgs, netMsgs, netBytes, localBytes, calls int64
+
+	// span attribution for the last vertex phase
+	startNS, durNS int64
+	executor       int32
+
+	err error
+}
+
+// worker owns a partition of the vertices: ids with id mod W == index
+// under PartitionMod (local index = id / W), or the contiguous range
+// [startID, startID+len(ids)) under PartitionDegree (local = id -
+// startID). Vertex-phase execution is chunked; the worker's cursor is
+// the shared claim queue its own executor drains first and idle
+// executors steal from. Every slice and map below is retained across
+// supersteps — the steady-state superstep allocates nothing.
 type worker struct {
-	e     *engine
-	index int
-	ids   []graph.NodeID // global IDs owned, ascending
+	e       *engine
+	index   int
+	ids     []graph.NodeID // global IDs owned, ascending
+	startID graph.NodeID   // first owned id (range partitioning)
+	single  bool           // exactly one chunk: combiner sends skip the raw log
 
 	active []bool
-	// numActive counts true entries of active, maintained incrementally
-	// by runStep/VoteToHalt/routeInbox so the termination check is O(W)
-	// instead of O(V).
+	// numActive mirrors the sum of chunk numActive counters; refreshed at
+	// the termination check and by checkpoint decode.
 	numActive int
 	inFlat    []Msg
 	inOff     []int32 // CSR offsets into inFlat, len = len(ids)+1
 	inTotal   int     // messages routed into inFlat by the last routing phase
-	outboxes  [][]Msg // per destination worker
-	// combineIdx maps (dst, type) to the pending outbox slot when the
-	// job registers combiners; cleared (not reallocated) each superstep.
+
+	chunks []chunk
+	// cursor is the next unclaimed chunk index (vertex phase).
+	cursor atomic.Int32
+	// crashed marks an injected fault: the worker's remaining chunks are
+	// skipped, emulating the machine death rollback will repair.
+	crashed atomic.Bool
+
+	// Combiner-path state: chunks log raw emissions and the fold phase
+	// replays them here in emission order (single-chunk workers write
+	// directly). combineIdx maps (dst, type) to the pending outbox slot;
+	// cleared (not reallocated) each superstep.
+	outboxes   [][]Msg // per destination worker; combiner jobs only
 	combineIdx map[uint64]combineSlot
 
 	// Hot-path caches copied from the engine at construction so send
 	// touches one cache line instead of chasing e.schema.
 	div       fastDiv
+	pblocks   []int32 // non-nil under PartitionDegree
+	pshift    uint32
 	combiners []Combiner // nil when the job registers none
 	msgSize   []int64
 	baseSize  int64
 
-	// counts/next are the routing counting-sort scratch, retained across
-	// supersteps.
-	counts []int32 // len(ids)+1
-	next   []int32 // len(ids)
+	// counters fed by the fold/direct combiner path (merged under the
+	// barrier with the chunk counters)
+	msgs, netMsgs, netBytes, localBytes int64
+	foldStartNS, foldDurNS              int64
 
-	aggLocal []aggCell
-	rngSrc   *countingSource
-	rng      *rand.Rand
-	vc       VertexContext // reused across a worker's vertices and supersteps
+	// Routing scratch, retained across supersteps. routeBoxes is the
+	// canonical (source worker, chunk) list of non-empty boxes destined
+	// here; routePfx its message-count prefix; segCounts the per-segment
+	// counting-sort rows.
+	routeBoxes [][]Msg
+	routePfx   []int64
+	segs       int
+	segCounts  [][]int32
 
-	// cmds parks the worker's persistent goroutine between phases; the
-	// master closes it on engine stop.
-	cmds chan poolCmd
-
-	// per-step counters (merged under the barrier)
-	msgs, netMsgs, netBytes, localBytes, calls int64
-
-	// span timing for the last vertex phase, relative to engine.runStart;
-	// written only when the engine has an observer.
-	stepStartNS, stepDurNS int64
-
-	err error
 	// faultAt is the local vertex index at which an armed injected fault
 	// fires this superstep; -1 when no fault is armed.
 	faultAt int
 }
 
-func (e *engine) workerOf(v graph.NodeID) int { return int(e.div.mod(uint32(v))) }
+// ownerOf returns the worker index owning vertex v.
+func (wk *worker) ownerOf(v graph.NodeID) int {
+	if wk.pblocks == nil {
+		return int(wk.div.mod(uint32(v)))
+	}
+	return int(wk.pblocks[uint32(v)>>wk.pshift])
+}
+
+// localOf returns the local index of v on its owning worker.
+func (wk *worker) localOf(v graph.NodeID) int {
+	if wk.pblocks == nil {
+		return int(wk.div.div(uint32(v)))
+	}
+	return int(v - wk.startID)
+}
+
+// executor is one persistent pool goroutine. Executors are 1:1 with
+// workers (executor i drains worker i's chunks first) but under work
+// stealing may execute any worker's chunks; state that must be
+// per-goroutine rather than per-partition — the reused VertexContext,
+// the vertex RNG — lives here.
+type executor struct {
+	e    *engine
+	id   int
+	cmds chan poolCmd
+	vc   VertexContext
+
+	// Per-vertex RNG: a splitmix64 source lazily reseeded on the first
+	// Rand() call of each (vertex, superstep), making the stream
+	// independent of chunk geometry, stealing, and worker count.
+	rngSrc   vertexSource
+	rng      *rand.Rand
+	rngID    graph.NodeID
+	rngStep  int
+	seedBase uint64
+
+	err error
+}
+
+// vertexSource is a splitmix64 math/rand Source. It deliberately does
+// not implement Source64: rand.Rand then derives every method from
+// Int63, so reseeding fully determines the stream.
+type vertexSource struct{ state uint64 }
+
+func (s *vertexSource) Int63() int64 {
+	s.state += 0x9e3779b97f4a7c15
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return int64((z ^ (z >> 31)) >> 1)
+}
+
+func (s *vertexSource) Seed(seed int64) { s.state = uint64(seed) }
+
+func mix64(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func (e *engine) workerOf(v graph.NodeID) int {
+	if e.pblocks == nil {
+		return int(e.div.mod(uint32(v)))
+	}
+	return int(e.pblocks[uint32(v)>>e.pshift])
+}
 
 // Run executes the job on g to completion and returns run statistics.
 // It returns an error if the job exceeds MaxSupersteps, a compute
@@ -518,6 +690,15 @@ func newEngine(g *graph.Directed, job Job, cfg Config) *engine {
 			break
 		}
 	}
+	e.combActive = combiners != nil
+	e.noSteal = cfg.NoSteal
+	e.maxSegs = e.numWorkers
+	if e.maxSegs > maxRouteSegs {
+		e.maxSegs = maxRouteSegs
+	}
+	if e.maxSegs < 1 {
+		e.maxSegs = 1
+	}
 	e.globals = make([]uint64, len(e.schema.Globals))
 	e.aggValues = make([]aggCell, len(e.schema.Aggregators))
 	e.masterSrc = newCountingSource(cfg.Seed)
@@ -532,15 +713,31 @@ func newEngine(g *graph.Directed, job Job, cfg Config) *engine {
 		e.faults[i] = faultState{Fault: f}
 	}
 
+	// Partitioning: compute each worker's owned IDs.
+	n := g.NumNodes()
+	var rangeStarts []int32
+	if cfg.Partitioner == PartitionDegree {
+		rangeStarts, e.pblocks, e.pshift = degreeRanges(g, e.numWorkers)
+	}
 	e.workers = make([]*worker, e.numWorkers)
 	for w := 0; w < e.numWorkers; w++ {
 		wk := &worker{e: e, index: w, faultAt: -1}
-		n := g.NumNodes()
-		if n > w {
-			wk.ids = make([]graph.NodeID, 0, (n-w+e.numWorkers-1)/e.numWorkers)
-		}
-		for v := graph.NodeID(w); int(v) < n; v += graph.NodeID(e.numWorkers) {
-			wk.ids = append(wk.ids, v)
+		if rangeStarts != nil {
+			lo, hi := rangeStarts[w], rangeStarts[w+1]
+			wk.startID = graph.NodeID(lo)
+			if hi > lo {
+				wk.ids = make([]graph.NodeID, 0, hi-lo)
+				for v := lo; v < hi; v++ {
+					wk.ids = append(wk.ids, graph.NodeID(v))
+				}
+			}
+		} else {
+			if n > w {
+				wk.ids = make([]graph.NodeID, 0, (n-w+e.numWorkers-1)/e.numWorkers)
+			}
+			for v := graph.NodeID(w); int(v) < n; v += graph.NodeID(e.numWorkers) {
+				wk.ids = append(wk.ids, v)
+			}
 		}
 		wk.active = make([]bool, len(wk.ids))
 		for i := range wk.active {
@@ -548,78 +745,341 @@ func newEngine(g *graph.Directed, job Job, cfg Config) *engine {
 		}
 		wk.numActive = len(wk.ids)
 		wk.inOff = make([]int32, len(wk.ids)+1)
-		wk.counts = make([]int32, len(wk.ids)+1)
-		wk.next = make([]int32, len(wk.ids))
-		wk.outboxes = make([][]Msg, e.numWorkers)
 		if combiners != nil {
+			wk.outboxes = make([][]Msg, e.numWorkers)
 			wk.combineIdx = make(map[uint64]combineSlot)
 		}
 		wk.div = e.div
+		wk.pblocks = e.pblocks
+		wk.pshift = e.pshift
 		wk.combiners = combiners
 		wk.msgSize = e.msgSize
 		wk.baseSize = e.baseSize
-		wk.aggLocal = make([]aggCell, len(e.schema.Aggregators))
-		wk.rngSrc = newCountingSource(cfg.Seed*7919 + int64(w) + 1)
-		wk.rng = rand.New(wk.rngSrc)
-		wk.vc = VertexContext{wk: wk}
-		wk.cmds = make(chan poolCmd, 1)
+
+		// Chunk geometry: fixed for the run, derived only from the
+		// partition size and ChunkSize, never from execution.
+		nw := len(wk.ids)
+		cs := chunkSizeFor(cfg.ChunkSize, nw)
+		numChunks := 0
+		if nw > 0 {
+			numChunks = (nw + cs - 1) / cs
+		}
+		wk.chunks = make([]chunk, numChunks)
+		for ci := range wk.chunks {
+			ck := &wk.chunks[ci]
+			ck.lo = int32(ci * cs)
+			ck.hi = int32((ci + 1) * cs)
+			if ck.hi > int32(nw) {
+				ck.hi = int32(nw)
+			}
+			ck.numActive = ck.hi - ck.lo
+			ck.agg = make([]aggCell, len(e.schema.Aggregators))
+			if combiners == nil {
+				ck.boxes = make([][]Msg, e.numWorkers)
+			}
+		}
+		wk.single = numChunks == 1
+		if combiners != nil && numChunks > 1 {
+			e.foldNeeded = true
+		}
+
+		wk.segCounts = make([][]int32, e.maxSegs)
+		for s := range wk.segCounts {
+			wk.segCounts[s] = make([]int32, nw)
+		}
 		e.workers[w] = wk
 	}
-	// The persistent pool: one goroutine per worker for the whole run,
-	// parked on its command channel between phases. engine.stop (deferred
-	// by RunContext) shuts them down on every exit path.
-	for _, wk := range e.workers {
-		go wk.poolRun()
+
+	// The persistent pool: one executor goroutine per worker for the
+	// whole run, parked on its command channel between phases.
+	// engine.stop (deferred by RunContext) shuts them down on every exit
+	// path.
+	e.executors = make([]*executor, e.numWorkers)
+	for i := 0; i < e.numWorkers; i++ {
+		x := &executor{e: e, id: i, rngStep: -1, seedBase: mix64(uint64(cfg.Seed) ^ 0x5bf03635aca1fd6b)}
+		x.rng = rand.New(&x.rngSrc)
+		x.vc = VertexContext{ex: x}
+		x.cmds = make(chan poolCmd, 1)
+		e.executors[i] = x
+	}
+	for _, x := range e.executors {
+		go x.poolRun()
 	}
 	return e
 }
 
-// stop shuts the persistent worker pool down. Idempotent; called on
+// stop shuts the persistent executor pool down. Idempotent; called on
 // every run-exit path (normal, error, panic-converted, recovery-budget
-// exhaustion) and only ever between phases, so no worker is mid-command.
+// exhaustion) and only ever between phases, so no executor is
+// mid-command.
 func (e *engine) stop() {
 	if e.stopped {
 		return
 	}
 	e.stopped = true
-	for _, wk := range e.workers {
-		close(wk.cmds)
+	for _, x := range e.executors {
+		close(x.cmds)
 	}
 }
 
-// runPhase releases every parked worker into one phase and waits for
+// runPhase releases every parked executor into one phase and waits for
 // all of them at the reusable barrier.
 func (e *engine) runPhase(kind phaseKind, step int) {
-	e.phaseWG.Add(len(e.workers))
-	for _, wk := range e.workers {
-		wk.cmds <- poolCmd{kind: kind, step: step}
+	e.taskCursor.Store(0)
+	e.phaseWG.Add(len(e.executors))
+	for _, x := range e.executors {
+		x.cmds <- poolCmd{kind: kind, step: step}
 	}
 	e.phaseWG.Wait()
 }
 
-// poolRun is a worker's persistent goroutine: park, run the commanded
-// phase, signal the barrier, repeat until the channel closes.
-func (wk *worker) poolRun() {
-	for cmd := range wk.cmds {
-		wk.runCmd(cmd)
-		wk.e.phaseWG.Done()
+// runVertexPhase runs one chunked vertex-compute phase (plus the
+// combiner fold pass when needed): the superstep's compute work.
+func (e *engine) runVertexPhase(step int) {
+	for _, wk := range e.workers {
+		wk.cursor.Store(0)
+	}
+	e.runPhase(phaseVertex, step)
+	if e.foldNeeded {
+		e.runPhase(phaseFold, step)
 	}
 }
 
-// runCmd executes one phase command, converting any panic into a worker
-// error so the barrier is always reached (a lost Done would deadlock the
-// master).
-func (wk *worker) runCmd(cmd poolCmd) {
+// poolRun is an executor's persistent goroutine: park, run the commanded
+// phase, signal the barrier, repeat until the channel closes.
+func (x *executor) poolRun() {
+	for cmd := range x.cmds {
+		x.runCmd(cmd)
+		x.e.phaseWG.Done()
+	}
+}
+
+// runCmd executes one phase command, converting any panic into an
+// executor error so the barrier is always reached (a lost Done would
+// deadlock the master). Vertex-chunk panics are caught closer to the
+// work, in runChunk, so one chunk's panic does not abandon the phase.
+func (x *executor) runCmd(cmd poolCmd) {
 	defer func() {
-		if r := recover(); r != nil && wk.err == nil {
-			wk.err = fmt.Errorf("pregel: worker %d panicked in routing phase: %v", wk.index, r)
+		if r := recover(); r != nil && x.err == nil {
+			x.err = fmt.Errorf("pregel: executor %d panicked in %v phase: %v", x.id, cmd.kind, r)
 		}
 	}()
 	switch cmd.kind {
 	case phaseVertex:
-		wk.runStep(cmd.step)
-	case phaseRoute:
-		wk.routeInbox()
+		x.vertexPhase(cmd.step)
+	case phaseFold:
+		x.foldPhase()
+	case phaseRouteCount:
+		x.routePhase(phaseRouteCount)
+	case phaseRoutePrefix:
+		x.prefixPhase()
+	case phaseRoutePlace:
+		x.routePhase(phaseRoutePlace)
+	}
+}
+
+func (k phaseKind) String() string {
+	switch k {
+	case phaseVertex:
+		return "vertex"
+	case phaseFold:
+		return "fold"
+	case phaseRouteCount:
+		return "route-count"
+	case phaseRoutePrefix:
+		return "route-prefix"
+	case phaseRoutePlace:
+		return "route-place"
+	}
+	return "unknown"
+}
+
+// vertexPhase drains the executor's own worker's chunk queue, then (with
+// stealing enabled) repeatedly claims a chunk from the worker with the
+// most unclaimed chunks (ties broken by lowest worker index). Which
+// executor runs a chunk never affects results — only the chunk's span
+// attribution.
+func (x *executor) vertexPhase(step int) {
+	e := x.e
+	own := e.workers[x.id]
+	for {
+		ci := int(own.cursor.Add(1)) - 1
+		if ci >= len(own.chunks) {
+			break
+		}
+		x.runChunk(own, ci, step)
+	}
+	if e.noSteal {
+		return
+	}
+	for {
+		victim := -1
+		var most int32
+		for i, wk := range e.workers {
+			if i == x.id {
+				continue
+			}
+			if rem := int32(len(wk.chunks)) - wk.cursor.Load(); rem > most {
+				most, victim = rem, i
+			}
+		}
+		if victim < 0 {
+			return
+		}
+		wk := e.workers[victim]
+		ci := int(wk.cursor.Add(1)) - 1
+		if ci >= len(wk.chunks) {
+			continue // lost the claim race; rescan
+		}
+		x.runChunk(wk, ci, step)
+	}
+}
+
+// runChunk executes one vertex-compute chunk. A panic in job code is
+// recorded on the chunk (and surfaced in canonical order at the
+// barrier); an injected fault marks the whole worker crashed so its
+// remaining chunks are skipped, as they would be on a dead machine.
+func (x *executor) runChunk(wk *worker, ci, step int) {
+	e := x.e
+	ck := &wk.chunks[ci]
+	ck.executor = int32(x.id)
+	var t0 int64
+	if e.obsOn {
+		t0 = e.nowNS()
+	}
+	defer func() {
+		if r := recover(); r != nil && ck.err == nil {
+			ck.err = fmt.Errorf("pregel: vertex compute panicked on worker %d chunk %d: %v", wk.index, ci, r)
+		}
+		if e.obsOn {
+			ck.startNS = t0
+			ck.durNS = e.nowNS() - t0
+		}
+	}()
+	// Truncate the chunk's outbound state from the previous superstep
+	// (routing has long completed; capacity is retained). Single-chunk
+	// combiner workers write worker-level state directly, so reset it
+	// here; multi-chunk workers reset it in the fold phase.
+	for d := range ck.boxes {
+		ck.boxes[d] = ck.boxes[d][:0]
+	}
+	ck.raw = ck.raw[:0]
+	if wk.single && wk.combineIdx != nil {
+		for d := range wk.outboxes {
+			wk.outboxes[d] = wk.outboxes[d][:0]
+		}
+		clear(wk.combineIdx)
+	}
+	if wk.crashed.Load() {
+		return
+	}
+	vc := &x.vc
+	vc.wk = wk
+	vc.ck = ck
+	vc.superstep = step
+	fault := wk.faultAt
+	for li := int(ck.lo); li < int(ck.hi); li++ {
+		if fault >= 0 && li == fault {
+			// Injected crash mid-phase: job state and outboxes stay
+			// partially mutated; rollback undoes the damage.
+			ck.err = &InjectedFault{Superstep: step, Worker: wk.index, Phase: FaultVertexCompute}
+			wk.crashed.Store(true)
+			return
+		}
+		hasMsgs := wk.inOff[li+1] > wk.inOff[li]
+		if !wk.active[li] && !hasMsgs {
+			continue
+		}
+		if !wk.active[li] {
+			wk.active[li] = true
+			ck.numActive++
+		}
+		vc.id = wk.ids[li]
+		vc.local = li
+		vc.msgs = wk.inFlat[wk.inOff[li]:wk.inOff[li+1]]
+		ck.calls++
+		e.job.VertexCompute(vc)
+	}
+}
+
+// foldPhase replays multi-chunk workers' raw combiner logs: one task per
+// worker, pulled from the shared queue.
+func (x *executor) foldPhase() {
+	e := x.e
+	if e.noSteal {
+		wk := e.workers[x.id]
+		if !wk.single {
+			wk.fold()
+		}
+		return
+	}
+	for {
+		t := int(e.taskCursor.Add(1)) - 1
+		if t >= len(e.workers) {
+			return
+		}
+		if wk := e.workers[t]; !wk.single {
+			wk.fold()
+		}
+	}
+}
+
+// fold replays this worker's chunk raw logs, in chunk order, through the
+// worker-scoped combining send. The replay sequence equals the worker's
+// vertex emission order, so combined payloads, post-combine message
+// counts, and byte accounting are bit-identical to an unchunked run.
+func (wk *worker) fold() {
+	if wk.e.obsOn {
+		wk.foldStartNS = wk.e.nowNS()
+	}
+	for d := range wk.outboxes {
+		wk.outboxes[d] = wk.outboxes[d][:0]
+	}
+	clear(wk.combineIdx)
+	for ci := range wk.chunks {
+		ck := &wk.chunks[ci]
+		for i := range ck.raw {
+			wk.foldSend(ck.raw[i])
+		}
+		ck.raw = ck.raw[:0]
+	}
+	if wk.e.obsOn {
+		wk.foldDurNS = wk.e.nowNS() - wk.foldStartNS
+	}
+}
+
+type combineSlot struct {
+	dw  int
+	idx int
+}
+
+// foldSend appends m to the outbox of m.Dst's owning worker, combining
+// with a pending message of the same (dst, type) when the job registers
+// a combiner for it. It is the worker-scoped half of the combiner path:
+// called directly by single-chunk workers during vertex compute, and by
+// fold when replaying chunk logs. Allocation-free once outbox/index
+// capacity has reached its high-water mark.
+func (wk *worker) foldSend(m Msg) {
+	dw := wk.ownerOf(m.Dst)
+	if cs := wk.combiners; cs != nil && int(m.Type) < len(cs) && cs[m.Type] != nil {
+		key := uint64(uint32(m.Dst))<<8 | uint64(m.Type)
+		if slot, ok := wk.combineIdx[key]; ok {
+			cs[m.Type](&wk.outboxes[slot.dw][slot.idx], m)
+			return
+		}
+		wk.combineIdx[key] = combineSlot{dw: dw, idx: len(wk.outboxes[dw])}
+	}
+	wk.outboxes[dw] = append(wk.outboxes[dw], m)
+	wk.msgs++
+	size := wk.baseSize
+	if int(m.Type) < len(wk.msgSize) {
+		size = wk.msgSize[m.Type]
+	}
+	if dw != wk.index {
+		wk.netMsgs++
+		wk.netBytes += size
+	} else {
+		wk.localBytes += size
 	}
 }
 
@@ -664,32 +1124,15 @@ func (e *engine) loop(ctx context.Context) error {
 		if halted {
 			return nil
 		}
-		// Vertex phase: release the parked pool, no goroutine creation.
+		// Vertex phase: release the parked pool into the chunk queues.
 		e.armVertexFault(step)
-		e.runPhase(phaseVertex, step)
+		e.runVertexPhase(step)
 		if e.obsOn {
-			// One span per worker, emitted even for a superstep that is
-			// about to roll back: the trace keeps failed work visible
-			// while Stats rewinds.
-			for _, wk := range e.workers {
-				e.emit(obs.Span{Superstep: step, Worker: wk.index, Phase: obs.PhaseVertexCompute,
-					State: stateLabel, StartNS: wk.stepStartNS, DurNS: wk.stepDurNS,
-					Messages: wk.msgs, Bytes: wk.netBytes, VertexCalls: wk.calls})
-			}
+			e.emitVertexSpans(step, stateLabel)
 		}
-		var crashed *InjectedFault
-		for _, wk := range e.workers {
-			wk.faultAt = -1
-			if wk.err == nil {
-				continue
-			}
-			var inj *InjectedFault
-			if errors.As(wk.err, &inj) {
-				crashed = inj
-				wk.err = nil
-				continue
-			}
-			return wk.err
+		crashed, err := e.collectPhaseErrors(step)
+		if err != nil {
+			return err
 		}
 		if crashed != nil {
 			resume, err := e.recoverFrom(crashed, step)
@@ -704,7 +1147,9 @@ func (e *engine) loop(ctx context.Context) error {
 			barrierT0 = e.nowNS()
 		}
 		e.stats.Supersteps++
-		// Merge counters and aggregators; route messages. Aggregators
+		// Merge counters and aggregators in canonical (worker, chunk)
+		// order — the merge order, not the execution order, is what
+		// results observe, so stealing cannot perturb them. Aggregators
 		// are per-superstep (Pregel semantics): the master sees only the
 		// contributions of the superstep that just ran.
 		for s := range e.aggValues {
@@ -714,20 +1159,28 @@ func (e *engine) loop(ctx context.Context) error {
 		for _, wk := range e.workers {
 			stepMsgs += wk.msgs
 			stepNet += wk.netBytes
-			stepCalls += wk.calls
 			stepNetMsgs += wk.netMsgs
 			stepLocal += wk.localBytes
-			e.stats.MessagesSent += wk.msgs
-			e.stats.NetworkMsgs += wk.netMsgs
-			e.stats.NetworkBytes += wk.netBytes
-			e.stats.LocalBytes += wk.localBytes
-			e.stats.VertexCalls += wk.calls
-			wk.msgs, wk.netMsgs, wk.netBytes, wk.localBytes, wk.calls = 0, 0, 0, 0, 0
-			for s := range wk.aggLocal {
-				e.aggValues[s].merge(e.schema.Aggregators[s], wk.aggLocal[s])
-				wk.aggLocal[s] = aggCell{}
+			wk.msgs, wk.netMsgs, wk.netBytes, wk.localBytes = 0, 0, 0, 0
+			for ci := range wk.chunks {
+				ck := &wk.chunks[ci]
+				stepMsgs += ck.msgs
+				stepNet += ck.netBytes
+				stepCalls += ck.calls
+				stepNetMsgs += ck.netMsgs
+				stepLocal += ck.localBytes
+				ck.msgs, ck.netMsgs, ck.netBytes, ck.localBytes, ck.calls = 0, 0, 0, 0, 0
+				for s := range ck.agg {
+					e.aggValues[s].merge(e.schema.Aggregators[s], ck.agg[s])
+					ck.agg[s] = aggCell{}
+				}
 			}
 		}
+		e.stats.MessagesSent += stepMsgs
+		e.stats.NetworkMsgs += stepNetMsgs
+		e.stats.NetworkBytes += stepNet
+		e.stats.LocalBytes += stepLocal
+		e.stats.VertexCalls += stepCalls
 		// Aggregator control traffic: one value per set aggregator per
 		// non-master worker.
 		var stepCtl int64
@@ -771,18 +1224,23 @@ func (e *engine) loop(ctx context.Context) error {
 			e.emit(obs.Span{Superstep: step, Worker: -1, Phase: obs.PhaseRouting,
 				StartNS: routeT0, DurNS: e.nowNS() - routeT0})
 		}
-		for _, wk := range e.workers {
-			if wk.err != nil {
-				return wk.err
+		for _, x := range e.executors {
+			if x.err != nil {
+				return x.err
 			}
 		}
-		// Termination check: O(W) thanks to the per-worker active counters
-		// maintained by runStep/VoteToHalt/routeInbox.
+		// Termination check: refresh the per-worker active counters from
+		// the chunk counters maintained by runChunk/VoteToHalt/routing —
+		// O(total chunks), no vertex scan.
 		anyActive := false
 		for _, wk := range e.workers {
-			if wk.numActive > 0 {
+			na := 0
+			for ci := range wk.chunks {
+				na += int(wk.chunks[ci].numActive)
+			}
+			wk.numActive = na
+			if na > 0 {
 				anyActive = true
-				break
 			}
 		}
 		if !anyMsgs && !anyActive {
@@ -790,6 +1248,82 @@ func (e *engine) loop(ctx context.Context) error {
 		}
 		step++
 	}
+}
+
+// emitVertexSpans emits the superstep's chunk spans (executor- and
+// steal-attributed) followed by one aggregated vertex-compute span per
+// worker, even for a superstep that is about to roll back: the trace
+// keeps failed work visible while Stats rewinds.
+func (e *engine) emitVertexSpans(step int, stateLabel string) {
+	for _, wk := range e.workers {
+		var msgs, bytes, calls, dur int64
+		startNS := int64(-1)
+		for ci := range wk.chunks {
+			ck := &wk.chunks[ci]
+			e.emit(obs.Span{Superstep: step, Worker: wk.index, Phase: obs.PhaseChunk,
+				State: stateLabel, StartNS: ck.startNS, DurNS: ck.durNS,
+				Messages: ck.msgs, Bytes: ck.netBytes, VertexCalls: ck.calls,
+				Executor: int(ck.executor), Stolen: int(ck.executor) != wk.index})
+			msgs += ck.msgs
+			bytes += ck.netBytes
+			calls += ck.calls
+			dur += ck.durNS
+			if startNS < 0 || ck.startNS < startNS {
+				startNS = ck.startNS
+			}
+		}
+		// The combiner fold path accounts messages at the worker level.
+		msgs += wk.msgs
+		bytes += wk.netBytes
+		if !wk.single && wk.combiners != nil {
+			dur += wk.foldDurNS
+		}
+		if startNS < 0 {
+			startNS = 0
+		}
+		e.emit(obs.Span{Superstep: step, Worker: wk.index, Phase: obs.PhaseVertexCompute,
+			State: stateLabel, StartNS: startNS, DurNS: dur,
+			Messages: msgs, Bytes: bytes, VertexCalls: calls})
+	}
+}
+
+// collectPhaseErrors scans executors and chunks (in canonical order)
+// after a vertex phase. An injected fault is returned for recovery;
+// any other error aborts the run. Fault state is reset so a replay
+// starts clean.
+func (e *engine) collectPhaseErrors(step int) (*InjectedFault, error) {
+	var crashed *InjectedFault
+	for _, x := range e.executors {
+		if x.err != nil {
+			return nil, x.err
+		}
+	}
+	for _, wk := range e.workers {
+		// A fault armed on a worker owning too few vertices (faultAt
+		// beyond its range) crashes at phase end, like the pre-chunk
+		// engine.
+		if wk.faultAt >= len(wk.ids) && wk.faultAt >= 0 {
+			crashed = &InjectedFault{Superstep: step, Worker: wk.index, Phase: FaultVertexCompute}
+		}
+		wk.faultAt = -1
+		wk.crashed.Store(false)
+		for ci := range wk.chunks {
+			ck := &wk.chunks[ci]
+			if ck.err == nil {
+				continue
+			}
+			var inj *InjectedFault
+			if errors.As(ck.err, &inj) {
+				crashed = inj
+				ck.err = nil
+				continue
+			}
+			err := ck.err
+			ck.err = nil
+			return nil, err
+		}
+	}
+	return crashed, nil
 }
 
 // recoverFrom wraps rollback with trace emission: a recovery span
@@ -807,7 +1341,7 @@ func (e *engine) recoverFrom(f *InjectedFault, step int) (int, error) {
 
 // masterPhase runs master.compute for step, converting a panic into an
 // error so a faulty master cannot crash the process (the vertex phase
-// has the same protection in runStep).
+// has the same protection in runChunk).
 func (e *engine) masterPhase(step int) (halted bool, err error) {
 	defer func() {
 		if r := recover(); r != nil {
@@ -819,15 +1353,30 @@ func (e *engine) masterPhase(step int) (halted bool, err error) {
 	return e.halted, nil
 }
 
-// routeMessages moves every worker's outboxes into destination workers'
-// inboxes, grouped per destination vertex in CSR form, preserving source
-// worker order for determinism. It reports whether any message is in
-// flight. The work runs on the persistent pool; outboxes are read-only
-// during the phase and truncated by their owning worker at the start of
-// its next vertex phase, so routing itself allocates nothing once the
-// inbox has grown to its high-water capacity.
+// ---- Routing ----
+//
+// Routing moves every outbox into destination workers' inboxes, grouped
+// per destination vertex in CSR form, preserving the canonical (source
+// worker, source chunk, emission) order for determinism. The work is
+// chunked like the vertex phase: each destination's message stream is
+// cut into up to maxSegs equal-mass segments, and (count, prefix, place)
+// tasks for all destinations go through the shared queue, so one worker
+// with a huge inbox — a hub under preferential attachment — no longer
+// serializes the phase. The placement is a segmented stable counting
+// sort: positions depend only on the box geometry, never on which
+// executor runs a segment, so the inbox is bit-identical to a
+// single-threaded sort.
+
+// routeMessages plans and runs the three routing sub-phases, reporting
+// whether any message is in flight. Boxes are read-only during the
+// phase and truncated by chunk execution (or fold) at the start of the
+// next vertex phase; once inbox/scratch capacity has reached its
+// high-water mark, routing allocates nothing.
 func (e *engine) routeMessages() bool {
-	e.runPhase(phaseRoute, 0)
+	e.routePlan()
+	e.runPhase(phaseRouteCount, 0)
+	e.runPhase(phaseRoutePrefix, 0)
+	e.runPhase(phaseRoutePlace, 0)
 	any := false
 	for _, wk := range e.workers {
 		if wk.inTotal > 0 {
@@ -838,183 +1387,197 @@ func (e *engine) routeMessages() bool {
 	return any
 }
 
-// routeInbox counting-sorts every source worker's outbox for this worker
-// into the CSR inbox, reusing the retained counts/next scratch and inFlat
-// capacity. Recipients of messages are reactivated (with the active
-// counter maintained). Runs on the worker's pool goroutine; it reads
-// other workers' outboxes, which no one mutates during the phase.
-func (wk *worker) routeInbox() {
-	e := wk.e
-	total := 0
-	for _, src := range e.workers {
-		total += len(src.outboxes[wk.index])
+// routePlan assembles, per destination worker, the canonical list of
+// non-empty source boxes (worker outboxes for combiner jobs, chunk boxes
+// otherwise), their prefix sums, and the segment count for this
+// superstep. O(workers × chunks); runs on the barrier goroutine.
+func (e *engine) routePlan() {
+	for _, wk := range e.workers {
+		wk.routeBoxes = wk.routeBoxes[:0]
+		wk.routePfx = wk.routePfx[:0]
+		var total int64
+		wk.routePfx = append(wk.routePfx, 0)
+		if e.combActive {
+			for _, src := range e.workers {
+				if box := src.outboxes[wk.index]; len(box) > 0 {
+					wk.routeBoxes = append(wk.routeBoxes, box)
+					total += int64(len(box))
+					wk.routePfx = append(wk.routePfx, total)
+				}
+			}
+		} else {
+			for _, src := range e.workers {
+				for ci := range src.chunks {
+					if box := src.chunks[ci].boxes[wk.index]; len(box) > 0 {
+						wk.routeBoxes = append(wk.routeBoxes, box)
+						total += int64(len(box))
+						wk.routePfx = append(wk.routePfx, total)
+					}
+				}
+			}
+		}
+		wk.inTotal = int(total)
+		// Segment count: enough that each segment's placement work
+		// dominates its O(len(ids)) prefix column, capped by the scratch.
+		segs := 1
+		if grain := int64(len(wk.ids)); !e.noSteal && grain > 0 {
+			if g := int64(2048); grain < g {
+				grain = g
+			}
+			segs = int(total / grain)
+			if segs < 1 {
+				segs = 1
+			}
+			if segs > e.maxSegs {
+				segs = e.maxSegs
+			}
+		}
+		wk.segs = segs
 	}
-	wk.inTotal = total
-	if total == 0 {
-		// Inbox was consumed and offsets zeroed at the end of runStep;
-		// nothing to route.
-		wk.inFlat = wk.inFlat[:0]
-		return
-	}
-	counts := wk.counts
-	for i := range counts {
-		counts[i] = 0
-	}
-	div := wk.div
-	for _, src := range e.workers {
-		box := src.outboxes[wk.index]
-		for i := range box {
-			li := int(div.div(uint32(box[i].Dst)))
-			counts[li+1]++
+}
+
+// routePhase drains (destination, segment) tasks for the count or place
+// sub-phase. With stealing disabled each executor handles only its own
+// worker's segments, reproducing per-worker routing.
+func (x *executor) routePhase(kind phaseKind) {
+	e := x.e
+	run := func(wk *worker, s int) {
+		if kind == phaseRouteCount {
+			wk.routeCount(s)
+		} else {
+			wk.routePlace(s)
 		}
 	}
-	for i := 0; i < len(wk.ids); i++ {
-		counts[i+1] += counts[i]
+	if e.noSteal {
+		wk := e.workers[x.id]
+		for s := 0; s < wk.segs; s++ {
+			run(wk, s)
+		}
+		return
 	}
+	grid := int64(e.maxSegs)
+	limit := int64(len(e.workers)) * grid
+	for {
+		t := e.taskCursor.Add(1) - 1
+		if t >= limit {
+			return
+		}
+		wk := e.workers[t/grid]
+		if s := int(t % grid); s < wk.segs {
+			run(wk, s)
+		}
+	}
+}
+
+// prefixPhase drains per-destination prefix tasks.
+func (x *executor) prefixPhase() {
+	e := x.e
+	if e.noSteal {
+		e.workers[x.id].routePrefix()
+		return
+	}
+	for {
+		t := int(e.taskCursor.Add(1)) - 1
+		if t >= len(e.workers) {
+			return
+		}
+		e.workers[t].routePrefix()
+	}
+}
+
+// segRange returns segment s's half-open range of the destination's
+// concatenated message stream.
+func (wk *worker) segRange(s int) (int64, int64) {
+	total := int64(wk.inTotal)
+	return int64(s) * total / int64(wk.segs), int64(s+1) * total / int64(wk.segs)
+}
+
+// routeCount counts, per destination vertex, the messages of segment s.
+func (wk *worker) routeCount(s int) {
+	cnt := wk.segCounts[s]
+	for i := range cnt {
+		cnt[i] = 0
+	}
+	lo, hi := wk.segRange(s)
+	if lo >= hi {
+		return
+	}
+	b := sort.Search(len(wk.routeBoxes), func(i int) bool { return wk.routePfx[i+1] > lo })
+	off := lo - wk.routePfx[b]
+	for remaining := hi - lo; remaining > 0; b, off = b+1, 0 {
+		box := wk.routeBoxes[b]
+		take := int64(len(box)) - off
+		if take > remaining {
+			take = remaining
+		}
+		for i := off; i < off+take; i++ {
+			cnt[wk.localOf(box[i].Dst)]++
+		}
+		remaining -= take
+	}
+}
+
+// routePrefix turns the per-segment counts into placement offsets and
+// the CSR inbox offsets, sizes the inbox, and reactivates message
+// recipients (maintaining the chunk active counters). Offsets derive
+// only from counts, so placement is execution-order independent.
+func (wk *worker) routePrefix() {
+	total := wk.inTotal
 	if cap(wk.inFlat) < total {
 		wk.inFlat = make([]Msg, total)
 	} else {
 		wk.inFlat = wk.inFlat[:total]
 	}
-	next := wk.next
-	copy(next, counts[:len(wk.ids)])
-	for _, src := range e.workers {
-		box := src.outboxes[wk.index]
-		for i := range box {
-			li := int(div.div(uint32(box[i].Dst)))
-			wk.inFlat[next[li]] = box[i]
-			next[li]++
-		}
-	}
-	copy(wk.inOff, counts)
-	for li := 0; li < len(wk.ids); li++ {
-		if counts[li+1] > counts[li] && !wk.active[li] {
-			wk.active[li] = true
-			wk.numActive++
-		}
-	}
-}
-
-func (wk *worker) runStep(step int) {
-	defer func() {
-		if r := recover(); r != nil {
-			wk.err = fmt.Errorf("pregel: vertex compute panicked on worker %d: %v", wk.index, r)
-		}
-	}()
-	if wk.e.obsOn {
-		wk.stepStartNS = wk.e.nowNS()
-		defer func() { wk.stepDurNS = wk.e.nowNS() - wk.stepStartNS }()
-	}
-	// Truncate our own outboxes from the previous superstep (routing has
-	// long completed; owner-only truncation keeps the work parallel and
-	// retains the capacity) and clear — don't reallocate — the combiner
-	// index.
-	for d := range wk.outboxes {
-		wk.outboxes[d] = wk.outboxes[d][:0]
-	}
-	if wk.combineIdx != nil {
-		clear(wk.combineIdx)
-	}
-	vc := &wk.vc
-	vc.superstep = step
-	for li, v := range wk.ids {
-		if wk.faultAt >= 0 && li == wk.faultAt {
-			// Injected crash mid-phase: job state and outboxes stay
-			// partially mutated; rollback undoes the damage.
-			wk.err = &InjectedFault{Superstep: step, Worker: wk.index, Phase: FaultVertexCompute}
-			return
-		}
-		hasMsgs := wk.inOff[li+1] > wk.inOff[li]
-		if !wk.active[li] && !hasMsgs {
-			continue
-		}
-		if !wk.active[li] {
-			wk.active[li] = true
-			wk.numActive++
-		}
-		vc.id = v
-		vc.local = li
-		vc.msgs = wk.inFlat[wk.inOff[li]:wk.inOff[li+1]]
-		wk.calls++
-		wk.e.job.VertexCompute(vc)
-	}
-	if wk.faultAt >= len(wk.ids) {
-		// Armed on a worker owning too few vertices: crash at phase end.
-		wk.err = &InjectedFault{Superstep: step, Worker: wk.index, Phase: FaultVertexCompute}
-		return
-	}
-	// Consume this step's inbox.
-	wk.inFlat = wk.inFlat[:0]
-	for i := range wk.inOff {
-		wk.inOff[i] = 0
-	}
-}
-
-type combineSlot struct {
-	dw  int
-	idx int
-}
-
-// send appends m to the outbox of m.Dst's owning worker. It touches only
-// the worker's own retained state (cached divider, combiner table, wire
-// sizes) and allocates nothing once outbox/index capacity has reached its
-// high-water mark.
-func (wk *worker) send(src graph.NodeID, m Msg) {
-	dw := int(wk.div.mod(uint32(m.Dst)))
-	if cs := wk.combiners; cs != nil && int(m.Type) < len(cs) && cs[m.Type] != nil {
-		key := uint64(uint32(m.Dst))<<8 | uint64(m.Type)
-		if slot, ok := wk.combineIdx[key]; ok {
-			cs[m.Type](&wk.outboxes[slot.dw][slot.idx], m)
-			return
-		}
-		wk.combineIdx[key] = combineSlot{dw: dw, idx: len(wk.outboxes[dw])}
-	}
-	wk.outboxes[dw] = append(wk.outboxes[dw], m)
-	wk.msgs++
-	size := wk.baseSize
-	if int(m.Type) < len(wk.msgSize) {
-		size = wk.msgSize[m.Type]
-	}
-	if dw != wk.index {
-		wk.netMsgs++
-		wk.netBytes += size
-	} else {
-		wk.localBytes += size
-	}
-	_ = src
-}
-
-// sendToAll sends a copy of m to every node in dsts (the SendToAllNbrs
-// bulk path). For jobs without combiners it hoists the per-message size
-// lookup and counter updates out of the loop; with combiners it falls
-// back to send, which must consult the index per destination.
-func (wk *worker) sendToAll(src graph.NodeID, dsts []graph.NodeID, m Msg) {
-	if wk.combiners != nil {
-		for _, d := range dsts {
-			m.Dst = d
-			wk.send(src, m)
+	n := len(wk.ids)
+	if total == 0 {
+		for i := range wk.inOff {
+			wk.inOff[i] = 0
 		}
 		return
 	}
-	size := wk.baseSize
-	if int(m.Type) < len(wk.msgSize) {
-		size = wk.msgSize[m.Type]
-	}
-	div := wk.div
-	self := uint32(wk.index)
-	var local int64
-	for _, d := range dsts {
-		dw := div.mod(uint32(d))
-		m.Dst = d
-		wk.outboxes[dw] = append(wk.outboxes[dw], m)
-		if dw == self {
-			local++
+	var run int32
+	for li := 0; li < n; li++ {
+		wk.inOff[li] = run
+		for s := 0; s < wk.segs; s++ {
+			c := wk.segCounts[s][li]
+			wk.segCounts[s][li] = run
+			run += c
 		}
 	}
-	n := int64(len(dsts))
-	wk.msgs += n
-	wk.netMsgs += n - local
-	wk.netBytes += (n - local) * size
-	wk.localBytes += local * size
-	_ = src
+	wk.inOff[n] = run
+	for ci := range wk.chunks {
+		ck := &wk.chunks[ci]
+		for li := ck.lo; li < ck.hi; li++ {
+			if wk.inOff[li+1] > wk.inOff[li] && !wk.active[li] {
+				wk.active[li] = true
+				ck.numActive++
+			}
+		}
+	}
+}
+
+// routePlace stably places segment s's messages at the offsets computed
+// by routePrefix.
+func (wk *worker) routePlace(s int) {
+	lo, hi := wk.segRange(s)
+	if lo >= hi {
+		return
+	}
+	pos := wk.segCounts[s]
+	b := sort.Search(len(wk.routeBoxes), func(i int) bool { return wk.routePfx[i+1] > lo })
+	off := lo - wk.routePfx[b]
+	for remaining := hi - lo; remaining > 0; b, off = b+1, 0 {
+		box := wk.routeBoxes[b]
+		take := int64(len(box)) - off
+		if take > remaining {
+			take = remaining
+		}
+		for i := off; i < off+take; i++ {
+			li := wk.localOf(box[i].Dst)
+			p := pos[li]
+			pos[li] = p + 1
+			wk.inFlat[p] = box[i]
+		}
+		remaining -= take
+	}
 }
