@@ -1,8 +1,21 @@
 package core
 
 import (
+	"sort"
+
 	"gmpregel/internal/gm/ast"
 )
+
+// sortedKeys returns a map's keys in ascending order, for iteration
+// whose effects may escape into diagnostics or emitted code.
+func sortedKeys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m { //gm:nondeterministic-ok keys are sorted before any order-sensitive use
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
 
 // canonicalize runs the §4.1 transformations that turn non-canonical
 // vertex loops into Pregel-canonical form: Dissecting Nested Loops
@@ -198,7 +211,9 @@ func (nz *normalizer) dissectLoop(f *ast.Foreach) []ast.Stmt {
 	if f.Filter != nil {
 		filterProps := propsReadBy(f.Filter)
 		for _, s := range body.Stmts {
-			for p := range propsWrittenBy(s) {
+			// Sorted so the property named in the diagnostic is stable
+			// when a statement writes several filter-read properties.
+			for _, p := range sortedKeys(propsWrittenBy(s)) {
 				if filterProps[p] {
 					nz.fail("%s: cannot split loop: its body modifies property %q used by the loop filter", f.P, p)
 					return []ast.Stmt{f}

@@ -145,4 +145,6 @@ func nodePropType(k ast.TypeKind) *ast.Type {
 }
 
 // newDetRand returns a deterministic RNG for robustness tests.
+//
+//gm:nondeterministic-ok fixed caller-supplied seed; stream is reproducible by construction
 func newDetRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }

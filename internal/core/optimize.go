@@ -120,7 +120,9 @@ func tryMerge(p *machine.Program, aIdx int) bool {
 }
 
 func overlap(a, b map[int]bool) bool {
-	for k := range a {
+	// Pure intersection test: the boolean result is independent of the
+	// order keys are visited in, so iteration order cannot escape.
+	for k := range a { //gm:nondeterministic-ok order-insensitive membership test; result is a bare bool
 		if b[k] {
 			return true
 		}

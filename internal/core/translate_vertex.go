@@ -336,7 +336,9 @@ func (t *translator) globalWrite(sym *sema.Symbol, op ast.AssignOp, rhs ir.Expr,
 }
 
 func (t *translator) propSlotOf(name string) (int, *sema.Symbol) {
-	for sym, slot := range t.propSlot {
+	// Property names are unique after sema, so at most one entry can
+	// match and the result is independent of iteration order.
+	for sym, slot := range t.propSlot { //gm:nondeterministic-ok at most one symbol matches a sema-checked property name
 		if sym.Name == name {
 			return slot, sym
 		}

@@ -1,0 +1,63 @@
+package analysis
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+)
+
+func TestCodeTableIsUniqueAndWellFormed(t *testing.T) {
+	codeRe := regexp.MustCompile(`^GM[0-9]{4}$`)
+	seen := map[string]bool{}
+	for _, ci := range CodeTable {
+		if !codeRe.MatchString(ci.Code) {
+			t.Errorf("malformed code %q", ci.Code)
+		}
+		if seen[ci.Code] {
+			t.Errorf("code %s registered twice", ci.Code)
+		}
+		seen[ci.Code] = true
+		if ci.Summary == "" {
+			t.Errorf("code %s has no summary", ci.Code)
+		}
+	}
+}
+
+func TestLookupCode(t *testing.T) {
+	ci, ok := LookupCode("GM0001")
+	if !ok || ci.Code != "GM0001" {
+		t.Fatalf("LookupCode(GM0001) = %+v, %v", ci, ok)
+	}
+	if _, ok := LookupCode("GM9999"); ok {
+		t.Fatal("LookupCode(GM9999) unexpectedly found")
+	}
+}
+
+func TestRegisteredCodesSorted(t *testing.T) {
+	codes := RegisteredCodes()
+	if len(codes) != len(CodeTable) {
+		t.Fatalf("RegisteredCodes returned %d codes, table has %d", len(codes), len(CodeTable))
+	}
+	if !sort.StringsAreSorted(codes) {
+		t.Fatalf("RegisteredCodes not sorted: %v", codes)
+	}
+}
+
+// TestCodeTableMatchesDocs checks the registry against docs/ANALYSIS.md
+// at runtime — the same invariant gmdiag enforces statically, kept here
+// so `go test` alone catches a drift.
+func TestCodeTableMatchesDocs(t *testing.T) {
+	data, err := os.ReadFile(filepath.Join("..", "..", "..", "docs", "ANALYSIS.md"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := string(data)
+	for _, ci := range CodeTable {
+		if !strings.Contains(doc, ci.Code) {
+			t.Errorf("code %s is registered but not documented in docs/ANALYSIS.md", ci.Code)
+		}
+	}
+}

@@ -68,12 +68,18 @@ type Value struct {
 }
 
 // Int constructs an integer value.
+//
+//gm:noalloc
 func Int(v int64) Value { return Value{K: KInt, I: v} }
 
 // Float constructs a float value.
+//
+//gm:noalloc
 func Float(v float64) Value { return Value{K: KFloat, F: v} }
 
 // Bool constructs a boolean value.
+//
+//gm:noalloc
 func Bool(v bool) Value {
 	if v {
 		return Value{K: KBool, I: 1}
@@ -82,9 +88,13 @@ func Bool(v bool) Value {
 }
 
 // Node constructs a node-ID value.
+//
+//gm:noalloc
 func Node(v graph.NodeID) Value { return Value{K: KNode, I: int64(v)} }
 
 // Zero returns the zero value of kind k (NIL for nodes).
+//
+//gm:noalloc
 func Zero(k Kind) Value {
 	if k == KNode {
 		return Value{K: KNode, I: int64(graph.NilNode)}
@@ -93,6 +103,8 @@ func Zero(k Kind) Value {
 }
 
 // Inf returns the positive infinity of kind k.
+//
+//gm:noalloc
 func Inf(k Kind) Value {
 	if k == KFloat {
 		return Float(math.Inf(1))
@@ -101,9 +113,13 @@ func Inf(k Kind) Value {
 }
 
 // AsBool interprets the value as a boolean.
+//
+//gm:noalloc
 func (v Value) AsBool() bool { return v.I != 0 }
 
 // AsInt interprets the value as an int64 (truncating floats).
+//
+//gm:noalloc
 func (v Value) AsInt() int64 {
 	if v.K == KFloat {
 		return int64(v.F)
@@ -112,6 +128,8 @@ func (v Value) AsInt() int64 {
 }
 
 // AsFloat interprets the value as a float64.
+//
+//gm:noalloc
 func (v Value) AsFloat() float64 {
 	if v.K == KFloat {
 		return v.F
@@ -120,10 +138,14 @@ func (v Value) AsFloat() float64 {
 }
 
 // AsNode interprets the value as a node ID.
+//
+//gm:noalloc
 func (v Value) AsNode() graph.NodeID { return graph.NodeID(v.I) }
 
 // Convert coerces the value to kind k (numeric conversions; identity
 // otherwise).
+//
+//gm:noalloc
 func (v Value) Convert(k Kind) Value {
 	if v.K == k {
 		return v
@@ -162,6 +184,8 @@ func (v Value) String() string {
 }
 
 // Equal compares two values after numeric promotion.
+//
+//gm:noalloc
 func Equal(a, b Value) bool {
 	if a.K == KFloat || b.K == KFloat {
 		return a.AsFloat() == b.AsFloat()
@@ -170,6 +194,8 @@ func Equal(a, b Value) bool {
 }
 
 // Less compares two numeric values after promotion.
+//
+//gm:noalloc
 func Less(a, b Value) bool {
 	if a.K == KFloat || b.K == KFloat {
 		return a.AsFloat() < b.AsFloat()
@@ -179,6 +205,8 @@ func Less(a, b Value) bool {
 
 // Reduce applies the reduction op to old and contribution values,
 // returning the new stored value. RSet overwrites.
+//
+//gm:noalloc
 func Reduce(op ast.AssignOp, old, v Value) Value {
 	switch op {
 	case ast.OpSet:

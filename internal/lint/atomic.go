@@ -1,0 +1,117 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// AtomicAnalyzer enforces field-granular atomicity discipline, beyond
+// stock `go vet`'s atomic checker (which only catches the
+// `x = atomic.AddInt64(&x, 1)` self-assignment pattern): once any code
+// in a package passes &s.f to a sync/atomic function, every other
+// access to that same struct field must also be atomic. A plain read
+// or write of such a field races with the atomic users and — worse for
+// this engine — can tear the bit-identical Stats the determinism gate
+// depends on.
+//
+// Accesses that are intentionally non-atomic (single-goroutine
+// initialization before workers start, reads after a barrier joined
+// all writers) must say so with //gm:atomic-ok <reason>.
+//
+// Fields of the typed atomics (atomic.Int64, atomic.Bool, …) are safe
+// by construction and invisible to this analyzer; the engine prefers
+// them, and this check exists to keep any remaining &field usage — or
+// future regressions — honest.
+var AtomicAnalyzer = &Analyzer{
+	Name: "gmatomic",
+	Doc:  "a struct field accessed via sync/atomic anywhere must be accessed atomically everywhere",
+	Run:  runAtomic,
+}
+
+func runAtomic(p *Pass) error {
+	// Pass 1: find every field passed by address to a sync/atomic
+	// function; remember the first such site per field for the message,
+	// and remember the exact selector nodes so pass 2 can skip them.
+	atomicFields := map[*types.Var]token.Pos{}
+	atomicUses := map[*ast.SelectorExpr]bool{}
+	for _, file := range p.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isAtomicCall(p.Info, call) {
+				return true
+			}
+			for _, arg := range call.Args {
+				un, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+				if !ok || un.Op != token.AND {
+					continue
+				}
+				sel, ok := ast.Unparen(un.X).(*ast.SelectorExpr)
+				if !ok {
+					continue
+				}
+				if fld := fieldOf(p.Info, sel); fld != nil {
+					if _, seen := atomicFields[fld]; !seen {
+						atomicFields[fld] = call.Pos()
+					}
+					atomicUses[sel] = true
+				}
+			}
+			return true
+		})
+	}
+	if len(atomicFields) == 0 {
+		return nil
+	}
+	// Pass 2: every other selector resolving to one of those fields is
+	// a plain access and must justify itself.
+	for _, file := range p.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || atomicUses[sel] {
+				return true
+			}
+			fld := fieldOf(p.Info, sel)
+			if fld == nil {
+				return true
+			}
+			first, ok := atomicFields[fld]
+			if !ok {
+				return true
+			}
+			if p.DirectiveAt(file, sel.Pos(), DirAtomicOK) != nil {
+				return true
+			}
+			p.Reportf(sel.Pos(), "plain access to field %s, which is accessed via sync/atomic at %s; use atomic ops everywhere or annotate //gm:atomic-ok <reason>",
+				fld.Name(), p.Fset.Position(first))
+			return true
+		})
+	}
+	return nil
+}
+
+// isAtomicCall reports whether call invokes a package-level function of
+// sync/atomic.
+func isAtomicCall(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	return ok && fn.Pkg() != nil && fn.Pkg().Path() == "sync/atomic" &&
+		fn.Type().(*types.Signature).Recv() == nil
+}
+
+// fieldOf resolves a selector to the struct field object it denotes, or
+// nil when the selector is not a field access.
+func fieldOf(info *types.Info, sel *ast.SelectorExpr) *types.Var {
+	s, ok := info.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return nil
+	}
+	v, ok := s.Obj().(*types.Var)
+	if !ok || !v.IsField() {
+		return nil
+	}
+	return v
+}

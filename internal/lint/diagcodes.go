@@ -1,0 +1,188 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+// DiagPackages are the import-path suffixes holding the GMxxxx
+// diagnostic-code registry that gmdiag audits.
+var DiagPackages = []string{"internal/gm/analysis"}
+
+// DiagDocsFile is the documentation catalogue, relative to the module
+// root, that every registered code must appear in.
+var DiagDocsFile = filepath.Join("docs", "ANALYSIS.md")
+
+// diagCodeTableVar is the conventional name of the central registry.
+const diagCodeTableVar = "CodeTable"
+
+var codePattern = regexp.MustCompile(`^GM[0-9]{4}$`)
+
+// DiagAnalyzer keeps the compiler's user-facing diagnostics honest. In
+// every package it validates //gm: directive hygiene (known names, and
+// justifications on every escape hatch). In the diagnostics package
+// (internal/gm/analysis) it additionally enforces:
+//
+//   - every GMxxxx code constant has a unique value;
+//   - every code constant is registered in the central CodeTable, and
+//     the table holds no duplicates;
+//   - every code is documented in docs/ANALYSIS.md;
+//   - no GMxxxx string literal appears outside the constant
+//     declarations — diagnostics must be built from registered
+//     constants, never ad-hoc strings.
+var DiagAnalyzer = &Analyzer{
+	Name: "gmdiag",
+	Doc:  "GMxxxx diagnostic codes must be unique, registered in CodeTable, and documented; //gm: directives must be well formed",
+	Run:  runDiag,
+}
+
+func runDiag(p *Pass) error {
+	checkDirectiveHygiene(p)
+	if p.Pkg == nil || !PathHasSuffix(p.Pkg.Path(), DiagPackages) {
+		return nil
+	}
+
+	// Collect the declared code constants (value -> first decl pos) and
+	// the exact literal nodes that define them, which are exempt from
+	// the ad-hoc-literal check.
+	declared := map[string]token.Pos{}
+	declLits := map[*ast.BasicLit]bool{}
+	for _, file := range p.Files {
+		for _, decl := range file.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.CONST {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, name := range vs.Names {
+					c, ok := p.Info.Defs[name].(*types.Const)
+					if !ok || c.Val().Kind() != constant.String {
+						continue
+					}
+					val := constant.StringVal(c.Val())
+					if !codePattern.MatchString(val) {
+						continue
+					}
+					if i < len(vs.Values) {
+						if lit, ok := ast.Unparen(vs.Values[i]).(*ast.BasicLit); ok {
+							declLits[lit] = true
+						}
+					}
+					if first, dup := declared[val]; dup {
+						p.Reportf(name.Pos(), "diagnostic code %s already declared at %s; codes must be unique", val, p.Fset.Position(first))
+						continue
+					}
+					declared[val] = name.Pos()
+				}
+			}
+		}
+	}
+
+	// Collect the registered table entries.
+	registered, tablePos := p.diagTableEntries()
+	if tablePos == token.NoPos && len(declared) > 0 {
+		p.Reportf(p.Files[0].Name.Pos(), "package declares %d GMxxxx codes but has no central %s registry", len(declared), diagCodeTableVar)
+	} else {
+		for code, pos := range declared {
+			if _, ok := registered[code]; !ok {
+				p.Reportf(pos, "diagnostic code %s is not registered in %s", code, diagCodeTableVar)
+			}
+		}
+	}
+
+	// Every declared code must be documented.
+	docs, derr := os.ReadFile(filepath.Join(p.Root, DiagDocsFile))
+	if derr != nil {
+		if len(declared) > 0 {
+			p.Reportf(p.Files[0].Name.Pos(), "cannot read %s to verify code documentation: %v", DiagDocsFile, derr)
+		}
+	} else {
+		text := string(docs)
+		for code, pos := range declared {
+			if !strings.Contains(text, code) {
+				p.Reportf(pos, "diagnostic code %s is not documented in %s", code, DiagDocsFile)
+			}
+		}
+	}
+
+	// No ad-hoc GMxxxx string literals outside the const declarations.
+	for _, file := range p.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			lit, ok := n.(*ast.BasicLit)
+			if !ok || lit.Kind != token.STRING || declLits[lit] {
+				return true
+			}
+			val := strings.Trim(lit.Value, "`\"")
+			if codePattern.MatchString(val) {
+				p.Reportf(lit.Pos(), "ad-hoc diagnostic code literal %q; use the registered constant", val)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// diagTableEntries resolves the CodeTable composite literal into the
+// set of registered code strings, reporting duplicate registrations.
+func (p *Pass) diagTableEntries() (map[string]token.Pos, token.Pos) {
+	for _, file := range p.Files {
+		for _, decl := range file.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.VAR {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, name := range vs.Names {
+					if name.Name != diagCodeTableVar || i >= len(vs.Values) {
+						continue
+					}
+					table, ok := ast.Unparen(vs.Values[i]).(*ast.CompositeLit)
+					if !ok {
+						continue
+					}
+					entries := map[string]token.Pos{}
+					for _, elt := range table.Elts {
+						row, ok := ast.Unparen(elt).(*ast.CompositeLit)
+						if !ok || len(row.Elts) == 0 {
+							continue
+						}
+						codeExpr := row.Elts[0]
+						for _, re := range row.Elts { // keyed form: Code: ...
+							if kv, ok := re.(*ast.KeyValueExpr); ok {
+								if k, ok := kv.Key.(*ast.Ident); ok && k.Name == "Code" {
+									codeExpr = kv.Value
+								}
+							}
+						}
+						tv, ok := p.Info.Types[ast.Unparen(codeExpr)]
+						if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+							continue
+						}
+						code := constant.StringVal(tv.Value)
+						if first, dup := entries[code]; dup {
+							p.Reportf(codeExpr.Pos(), "diagnostic code %s registered twice in %s (first at %s)", code, diagCodeTableVar, p.Fset.Position(first))
+							continue
+						}
+						entries[code] = codeExpr.Pos()
+					}
+					return entries, name.Pos()
+				}
+			}
+		}
+	}
+	return nil, token.NoPos
+}

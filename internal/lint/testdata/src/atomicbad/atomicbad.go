@@ -1,0 +1,26 @@
+// Package atomicbad is the positive gmatomic fixture: the n field is
+// accessed atomically in one place and plainly in others.
+package atomicbad
+
+import "sync/atomic"
+
+type counter struct {
+	n     int64
+	other int64
+}
+
+// Inc accesses n atomically, making n an "atomic field" everywhere.
+func (c *counter) Inc() { atomic.AddInt64(&c.n, 1) }
+
+// Read races with Inc.
+func (c *counter) Read() int64 {
+	return c.n // want `plain access to field n, which is accessed via sync/atomic`
+}
+
+// Reset also races, through a write.
+func (c *counter) Reset() {
+	c.n = 0 // want `plain access to field n, which is accessed via sync/atomic`
+}
+
+// Other touches a field with no atomic users: quiet.
+func (c *counter) Other() int64 { return c.other }

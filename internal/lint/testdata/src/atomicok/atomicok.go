@@ -1,0 +1,30 @@
+// Package atomicok is the negative gmatomic fixture: every access to
+// the atomic field is atomic, annotated, or uses the typed atomics.
+package atomicok
+
+import "sync/atomic"
+
+type counter struct {
+	n     int64
+	typed atomic.Int64
+}
+
+// Inc and Read agree on atomic access.
+func (c *counter) Inc() { atomic.AddInt64(&c.n, 1) }
+
+// Read loads atomically.
+func (c *counter) Read() int64 { return atomic.LoadInt64(&c.n) }
+
+// NewCounter initializes before any goroutine can see the value, and
+// says so.
+func NewCounter(start int64) *counter {
+	c := &counter{}
+	c.n = start //gm:atomic-ok single-goroutine construction; no concurrent readers exist yet
+	return c
+}
+
+// Typed uses the typed atomics, which are safe by construction.
+func (c *counter) Typed() int64 {
+	c.typed.Add(1)
+	return c.typed.Load()
+}

@@ -1,0 +1,37 @@
+// Package pregel is a gmdeterminism fixture: every construct here is
+// on the (simulated) bit-identical critical path and must be flagged.
+package pregel
+
+import (
+	"math/rand"
+	"time"
+)
+
+// EmitKeys leaks map iteration order into its output slice.
+func EmitKeys(m map[string]int) []string {
+	var out []string
+	for k := range m { // want `range over map map\[string\]int has nondeterministic iteration order`
+		out = append(out, k)
+	}
+	return out
+}
+
+// Timestamp reads the wall clock.
+func Timestamp() int64 {
+	return time.Now().UnixNano() // want `time.Now reads the wall clock`
+}
+
+// Elapsed also reads the wall clock, through Since.
+func Elapsed(t0 time.Time) time.Duration {
+	return time.Since(t0) // want `time.Since reads the wall clock`
+}
+
+// NewRNG constructs randomness without a justified annotation.
+func NewRNG() *rand.Rand {
+	return rand.New(rand.NewSource(1)) // want `rand.New on the bit-identical critical path` `rand.NewSource on the bit-identical critical path`
+}
+
+// GlobalDraw uses the process-global generator.
+func GlobalDraw() int {
+	return rand.Intn(10) // want `rand.Intn on the bit-identical critical path`
+}

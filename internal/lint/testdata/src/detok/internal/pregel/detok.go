@@ -1,0 +1,44 @@
+// Package pregel is the negative gmdeterminism fixture: sorted
+// iteration, justified annotations, and method calls on seeded RNGs
+// must all stay quiet.
+package pregel
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// SortedKeys hides map order behind an explicit sort.
+func SortedKeys(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m { //gm:nondeterministic-ok keys are sorted before use, so order cannot escape
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Count is order-insensitive and says so.
+func Count(m map[string]int) int {
+	n := 0
+	//gm:nondeterministic-ok pure count; the result is independent of visit order
+	for range m {
+		n++
+	}
+	return n
+}
+
+// SeededDraw draws from an injected, already-seeded generator: method
+// calls on a *rand.Rand are not flagged, only construction sites are.
+func SeededDraw(r *rand.Rand) int { return r.Intn(10) }
+
+// NewSeeded justifies its construction site.
+//
+//gm:nondeterministic-ok seeded from a caller-supplied fixed seed; reproducible by construction
+func NewSeeded(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+// SpanClock is observability-only and annotated as such.
+func SpanClock() time.Time {
+	return time.Now() //gm:nondeterministic-ok span timebase for traces only; never feeds outputs
+}

@@ -1,0 +1,17 @@
+// Package detscope is outside the critical-path package list, so
+// gmdeterminism must ignore everything here.
+package detscope
+
+import "time"
+
+// Keys ranges a map freely: this package is not on the critical path.
+func Keys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+// Clock reads the wall clock freely.
+func Clock() time.Time { return time.Now() }

@@ -1,0 +1,45 @@
+// Package analysis is the positive gmdiag fixture: duplicate,
+// unregistered, undocumented, and ad-hoc diagnostic codes, plus
+// malformed //gm: directives.
+package analysis
+
+// Severity mirrors the real diagnostics package.
+type Severity int
+
+// SevError is the only severity the fixture needs.
+const SevError Severity = 0
+
+// CodeInfo mirrors the real registry row.
+type CodeInfo struct {
+	Code     string
+	Severity Severity
+	Summary  string
+}
+
+// Stable codes, with deliberate mistakes.
+const (
+	CodeParse  = "GM0001"
+	CodeDup    = "GM0001" // want `diagnostic code GM0001 already declared`
+	CodeOrphan = "GM0002" // want `diagnostic code GM0002 is not registered in CodeTable`
+	CodeUndoc  = "GM0003" // want `diagnostic code GM0003 is not documented`
+)
+
+// CodeTable registers GM0001 twice and omits GM0002.
+var CodeTable = []CodeInfo{
+	{CodeParse, SevError, "parse"},
+	{CodeParse, SevError, "parse, again"}, // want `diagnostic code GM0001 registered twice`
+	{CodeUndoc, SevError, "undocumented"},
+}
+
+// adHoc builds a diagnostic code from a raw string.
+func adHoc() string {
+	return "GM0009" // want `ad-hoc diagnostic code literal "GM0009"`
+}
+
+// want-below `unknown directive //gm:frobnicate`
+//gm:frobnicate
+
+// want-below `//gm:atomic-ok requires a written justification`
+//gm:atomic-ok
+
+var _ = adHoc

@@ -1,0 +1,34 @@
+// Package analysis is the negative gmdiag fixture: unique codes, a
+// complete registry (both keyed and positional rows), full
+// documentation, and well-formed directives.
+package analysis
+
+// Severity mirrors the real diagnostics package.
+type Severity int
+
+// SevError is the only severity the fixture needs.
+const SevError Severity = 0
+
+// CodeInfo mirrors the real registry row.
+type CodeInfo struct {
+	Code     string
+	Severity Severity
+	Summary  string
+}
+
+// Stable codes.
+const (
+	CodeParse = "GM0001"
+	CodeSema  = "GM1001"
+)
+
+// CodeTable registers every code exactly once.
+var CodeTable = []CodeInfo{
+	{CodeParse, SevError, "source does not parse"},
+	{Code: CodeSema, Severity: SevError, Summary: "semantic error"},
+}
+
+// lookup is a justified escape hatch user.
+func lookup(c *CodeInfo) string {
+	return c.Code //gm:atomic-ok not an atomic site at all, but the justification grammar must parse
+}

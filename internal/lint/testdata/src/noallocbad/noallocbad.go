@@ -1,0 +1,58 @@
+// Package noallocbad is the positive gmnoalloc fixture: one annotated
+// function exhibiting every class of allocating construct.
+package noallocbad
+
+import "fmt"
+
+var sink []int
+
+// Bad violates the //gm:noalloc contract in every way at once.
+//
+//gm:noalloc
+func Bad(n int, bs []byte) string {
+	s := make([]int, n) // want `make allocates`
+	_ = s
+	sink = append(sink, n) // want `append may grow its backing array`
+	m := map[int]bool{}    // want `map literal allocates`
+	m[n] = true            // want `map insert may grow the map`
+	lits := []int{1, 2, 3} // want `slice literal allocates`
+	_ = lits
+	p := &point{x: 1} // want `&composite literal escapes to the heap`
+	_ = p
+	f := func() int { return n } // want `closure captures "n" and may escape to the heap`
+	_ = f
+	go helper()       // want `starting a goroutine allocates a stack` `calls helper, which is not annotated //gm:noalloc`
+	helper()          // want `calls helper, which is not annotated //gm:noalloc`
+	fmt.Println(n)    // want `calls fmt.Println, which is neither //gm:noalloc nor on the no-alloc allowlist` `argument boxes int into interface any`
+	str := string(bs) // want `conversion \[\]byte -> string copies`
+	str += "!"        // want `string concatenation allocates`
+	return str + "?"  // want `string concatenation allocates`
+}
+
+// Dynamic calls cannot be proven allocation-free.
+//
+//gm:noalloc
+func Dynamic(f func() int, s shape) {
+	f()      // want `dynamic call through a function value cannot be verified allocation-free`
+	s.Area() // want `dynamic call through interface method Area cannot be verified allocation-free`
+}
+
+// Boxed stores a concrete value into an interface location.
+//
+//gm:noalloc
+func Boxed(dst *any, v int) {
+	*dst = v // want `assignment boxes int into interface any`
+}
+
+// BoxedReturn boxes on the way out.
+//
+//gm:noalloc
+func BoxedReturn(v point) any {
+	return v // want `return boxes point into interface any`
+}
+
+type point struct{ x, y int }
+
+type shape interface{ Area() int }
+
+func helper() {}

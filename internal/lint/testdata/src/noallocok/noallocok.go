@@ -1,0 +1,53 @@
+// Package noallocok is the negative gmnoalloc fixture: annotated
+// functions that respect the contract, justified exemptions, and
+// unannotated functions that allocate freely.
+package noallocok
+
+import (
+	"sort"
+	"sync/atomic"
+)
+
+// leaf is a pure helper.
+//
+//gm:noalloc
+func leaf(x int) int { return x*2 + 1 }
+
+// Calls may call leaf because leaf is annotated too, atomics because
+// sync/atomic is allowlisted, and sort.Search with an in-place closure.
+//
+//gm:noalloc
+func Calls(x int, c *atomic.Int64, xs []int) int {
+	c.Add(int64(x))
+	i := sort.Search(len(xs), func(j int) bool { return xs[j] >= x }) //gm:alloc-ok closure inlines into sort.Search and does not escape
+	return leaf(x) + i
+}
+
+// Deferred closures and closures called in place stay on the stack.
+//
+//gm:noalloc
+func InPlace(x int) (out int) {
+	defer func() { out += x }()
+	func() { out = leaf(x) }()
+	return
+}
+
+// PointerBox stores a pointer into an interface: pointer-shaped values
+// are stored directly, no heap copy.
+//
+//gm:noalloc
+func PointerBox(dst *any, p *int) {
+	*dst = p
+}
+
+var buf []int
+
+// Amortized documents its high-water growth.
+//
+//gm:noalloc
+func Amortized(n int) {
+	buf = append(buf, n) //gm:alloc-ok capacity is retained across calls; grows only to the high-water mark
+}
+
+// plain is unannotated, so gmnoalloc leaves it alone.
+func plain(n int) []int { return make([]int, n) }

@@ -503,6 +503,7 @@ func (ex *exec) execVertex(ss []ir.Stmt, env *vertexEnv) {
 	}
 }
 
+//gm:noalloc
 func (ex *exec) applyProp(col *column, slot int, idx int64, op ast.AssignOp, v ir.Value) {
 	kind := ex.p.Props[slot].Kind
 	if col.f != nil {

@@ -40,6 +40,7 @@ type countingSource struct {
 }
 
 func newCountingSource(seed int64) *countingSource {
+	//gm:nondeterministic-ok seeded from Config.Seed and draw-counted, so checkpoints replay the exact stream position
 	return &countingSource{seed: seed, src: rand.NewSource(seed)}
 }
 

@@ -60,18 +60,28 @@ type Msg struct {
 }
 
 // SetInt stores an int64 in payload slot i.
+//
+//gm:noalloc
 func (m *Msg) SetInt(i int, v int64) { m.V[i] = uint64(v) }
 
 // Int reads payload slot i as an int64.
+//
+//gm:noalloc
 func (m *Msg) Int(i int) int64 { return int64(m.V[i]) }
 
 // SetFloat stores a float64 in payload slot i.
+//
+//gm:noalloc
 func (m *Msg) SetFloat(i int, v float64) { m.V[i] = math.Float64bits(v) }
 
 // Float reads payload slot i as a float64.
+//
+//gm:noalloc
 func (m *Msg) Float(i int) float64 { return math.Float64frombits(m.V[i]) }
 
 // SetBool stores a bool in payload slot i.
+//
+//gm:noalloc
 func (m *Msg) SetBool(i int, v bool) {
 	if v {
 		m.V[i] = 1
@@ -81,12 +91,18 @@ func (m *Msg) SetBool(i int, v bool) {
 }
 
 // Bool reads payload slot i as a bool.
+//
+//gm:noalloc
 func (m *Msg) Bool(i int) bool { return m.V[i] != 0 }
 
 // SetNode stores a node ID in payload slot i.
+//
+//gm:noalloc
 func (m *Msg) SetNode(i int, v graph.NodeID) { m.V[i] = uint64(uint32(v)) }
 
 // Node reads payload slot i as a node ID.
+//
+//gm:noalloc
 func (m *Msg) Node(i int) graph.NodeID { return graph.NodeID(int32(uint32(m.V[i]))) }
 
 // AggOp is an aggregator reduction operator.
@@ -342,6 +358,8 @@ func newFastDiv(d uint32) fastDiv {
 }
 
 // div returns x / d.
+//
+//gm:noalloc
 func (f fastDiv) div(x uint32) uint32 {
 	if f.m == 0 {
 		return x
@@ -351,6 +369,8 @@ func (f fastDiv) div(x uint32) uint32 {
 }
 
 // mod returns x % d.
+//
+//gm:noalloc
 func (f fastDiv) mod(x uint32) uint32 { return x - f.div(x)*f.d }
 
 // phaseKind selects the work the parked executor pool runs on wake-up.
@@ -454,6 +474,9 @@ type engine struct {
 }
 
 // nowNS returns nanoseconds since the run started (span timebase).
+//
+//gm:nondeterministic-ok observability timebase only: spans and skew reports, never Stats or vertex state
+//gm:noalloc
 func (e *engine) nowNS() int64 { return time.Since(e.runStart).Nanoseconds() }
 
 // emit forwards a span to the configured observer. Only called when
@@ -556,6 +579,8 @@ type worker struct {
 }
 
 // ownerOf returns the worker index owning vertex v.
+//
+//gm:noalloc
 func (wk *worker) ownerOf(v graph.NodeID) int {
 	if wk.pblocks == nil {
 		return int(wk.div.mod(uint32(v)))
@@ -564,6 +589,8 @@ func (wk *worker) ownerOf(v graph.NodeID) int {
 }
 
 // localOf returns the local index of v on its owning worker.
+//
+//gm:noalloc
 func (wk *worker) localOf(v graph.NodeID) int {
 	if wk.pblocks == nil {
 		return int(wk.div.div(uint32(v)))
@@ -599,6 +626,7 @@ type executor struct {
 // Int63, so reseeding fully determines the stream.
 type vertexSource struct{ state uint64 }
 
+//gm:noalloc
 func (s *vertexSource) Int63() int64 {
 	s.state += 0x9e3779b97f4a7c15
 	z := s.state
@@ -607,14 +635,17 @@ func (s *vertexSource) Int63() int64 {
 	return int64((z ^ (z >> 31)) >> 1)
 }
 
+//gm:noalloc
 func (s *vertexSource) Seed(seed int64) { s.state = uint64(seed) }
 
+//gm:noalloc
 func mix64(z uint64) uint64 {
 	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
 	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
 	return z ^ (z >> 31)
 }
 
+//gm:noalloc
 func (e *engine) workerOf(v graph.NodeID) int {
 	if e.pblocks == nil {
 		return int(e.div.mod(uint32(v)))
@@ -702,11 +733,11 @@ func newEngine(g *graph.Directed, job Job, cfg Config) *engine {
 	e.globals = make([]uint64, len(e.schema.Globals))
 	e.aggValues = make([]aggCell, len(e.schema.Aggregators))
 	e.masterSrc = newCountingSource(cfg.Seed)
-	e.masterRand = rand.New(e.masterSrc)
+	e.masterRand = rand.New(e.masterSrc) //gm:nondeterministic-ok wraps the seeded, draw-counted master source; replayable from checkpoints
 	e.ckptOn = cfg.CheckpointEvery > 0 || len(cfg.Faults) > 0
 	e.obsOn = cfg.Observer != nil
 	if e.obsOn {
-		e.runStart = time.Now()
+		e.runStart = time.Now() //gm:nondeterministic-ok span timebase for observability output only; never feeds Stats
 	}
 	e.faults = make([]faultState, len(cfg.Faults))
 	for i, f := range cfg.Faults {
@@ -797,7 +828,7 @@ func newEngine(g *graph.Directed, job Job, cfg Config) *engine {
 	e.executors = make([]*executor, e.numWorkers)
 	for i := 0; i < e.numWorkers; i++ {
 		x := &executor{e: e, id: i, rngStep: -1, seedBase: mix64(uint64(cfg.Seed) ^ 0x5bf03635aca1fd6b)}
-		x.rng = rand.New(&x.rngSrc)
+		x.rng = rand.New(&x.rngSrc) //gm:nondeterministic-ok wraps the per-vertex reseeded source (seedBase ^ step ^ id); schedule-independent by construction
 		x.vc = VertexContext{ex: x}
 		x.cmds = make(chan poolCmd, 1)
 		e.executors[i] = x
@@ -899,6 +930,8 @@ func (k phaseKind) String() string {
 // most unclaimed chunks (ties broken by lowest worker index). Which
 // executor runs a chunk never affects results — only the chunk's span
 // attribution.
+//
+//gm:noalloc
 func (x *executor) vertexPhase(step int) {
 	e := x.e
 	own := e.workers[x.id]
@@ -939,6 +972,8 @@ func (x *executor) vertexPhase(step int) {
 // recorded on the chunk (and surfaced in canonical order at the
 // barrier); an injected fault marks the whole worker crashed so its
 // remaining chunks are skipped, as they would be on a dead machine.
+//
+//gm:noalloc
 func (x *executor) runChunk(wk *worker, ci, step int) {
 	e := x.e
 	ck := &wk.chunks[ci]
@@ -949,7 +984,7 @@ func (x *executor) runChunk(wk *worker, ci, step int) {
 	}
 	defer func() {
 		if r := recover(); r != nil && ck.err == nil {
-			ck.err = fmt.Errorf("pregel: vertex compute panicked on worker %d chunk %d: %v", wk.index, ci, r)
+			ck.err = fmt.Errorf("pregel: vertex compute panicked on worker %d chunk %d: %v", wk.index, ci, r) //gm:alloc-ok panic recovery path; a steady-state run never reaches it
 		}
 		if e.obsOn {
 			ck.startNS = t0
@@ -982,7 +1017,7 @@ func (x *executor) runChunk(wk *worker, ci, step int) {
 		if fault >= 0 && li == fault {
 			// Injected crash mid-phase: job state and outboxes stay
 			// partially mutated; rollback undoes the damage.
-			ck.err = &InjectedFault{Superstep: step, Worker: wk.index, Phase: FaultVertexCompute}
+			ck.err = &InjectedFault{Superstep: step, Worker: wk.index, Phase: FaultVertexCompute} //gm:alloc-ok fault-injection testing path; never armed in production runs
 			wk.crashed.Store(true)
 			return
 		}
@@ -998,12 +1033,14 @@ func (x *executor) runChunk(wk *worker, ci, step int) {
 		vc.local = li
 		vc.msgs = wk.inFlat[wk.inOff[li]:wk.inOff[li+1]]
 		ck.calls++
-		e.job.VertexCompute(vc)
+		e.job.VertexCompute(vc) //gm:alloc-ok job contract: VertexCompute must be allocation-free; perf_test gates the full cycle at AllocsPerRun==0
 	}
 }
 
 // foldPhase replays multi-chunk workers' raw combiner logs: one task per
 // worker, pulled from the shared queue.
+//
+//gm:noalloc
 func (x *executor) foldPhase() {
 	e := x.e
 	if e.noSteal {
@@ -1028,6 +1065,8 @@ func (x *executor) foldPhase() {
 // worker-scoped combining send. The replay sequence equals the worker's
 // vertex emission order, so combined payloads, post-combine message
 // counts, and byte accounting are bit-identical to an unchunked run.
+//
+//gm:noalloc
 func (wk *worker) fold() {
 	if wk.e.obsOn {
 		wk.foldStartNS = wk.e.nowNS()
@@ -1059,17 +1098,19 @@ type combineSlot struct {
 // called directly by single-chunk workers during vertex compute, and by
 // fold when replaying chunk logs. Allocation-free once outbox/index
 // capacity has reached its high-water mark.
+//
+//gm:noalloc
 func (wk *worker) foldSend(m Msg) {
 	dw := wk.ownerOf(m.Dst)
 	if cs := wk.combiners; cs != nil && int(m.Type) < len(cs) && cs[m.Type] != nil {
 		key := uint64(uint32(m.Dst))<<8 | uint64(m.Type)
 		if slot, ok := wk.combineIdx[key]; ok {
-			cs[m.Type](&wk.outboxes[slot.dw][slot.idx], m)
+			cs[m.Type](&wk.outboxes[slot.dw][slot.idx], m) //gm:alloc-ok job-registered combiner funcs fold in place into the existing slot; covered by the runtime alloc gate
 			return
 		}
-		wk.combineIdx[key] = combineSlot{dw: dw, idx: len(wk.outboxes[dw])}
+		wk.combineIdx[key] = combineSlot{dw: dw, idx: len(wk.outboxes[dw])} //gm:alloc-ok insert after clear() reuses retained buckets; grows only until the high-water mark
 	}
-	wk.outboxes[dw] = append(wk.outboxes[dw], m)
+	wk.outboxes[dw] = append(wk.outboxes[dw], m) //gm:alloc-ok outbox capacity is retained across supersteps; grows only until the high-water mark
 	wk.msgs++
 	size := wk.baseSize
 	if int(m.Type) < len(wk.msgSize) {
@@ -1439,19 +1480,14 @@ func (e *engine) routePlan() {
 // routePhase drains (destination, segment) tasks for the count or place
 // sub-phase. With stealing disabled each executor handles only its own
 // worker's segments, reproducing per-worker routing.
+//
+//gm:noalloc
 func (x *executor) routePhase(kind phaseKind) {
 	e := x.e
-	run := func(wk *worker, s int) {
-		if kind == phaseRouteCount {
-			wk.routeCount(s)
-		} else {
-			wk.routePlace(s)
-		}
-	}
 	if e.noSteal {
 		wk := e.workers[x.id]
 		for s := 0; s < wk.segs; s++ {
-			run(wk, s)
+			wk.runSeg(kind, s)
 		}
 		return
 	}
@@ -1464,12 +1500,26 @@ func (x *executor) routePhase(kind phaseKind) {
 		}
 		wk := e.workers[t/grid]
 		if s := int(t % grid); s < wk.segs {
-			run(wk, s)
+			wk.runSeg(kind, s)
 		}
 	}
 }
 
+// runSeg dispatches one (destination, segment) routing task to the
+// count or place sub-phase.
+//
+//gm:noalloc
+func (wk *worker) runSeg(kind phaseKind, s int) {
+	if kind == phaseRouteCount {
+		wk.routeCount(s)
+	} else {
+		wk.routePlace(s)
+	}
+}
+
 // prefixPhase drains per-destination prefix tasks.
+//
+//gm:noalloc
 func (x *executor) prefixPhase() {
 	e := x.e
 	if e.noSteal {
@@ -1487,12 +1537,16 @@ func (x *executor) prefixPhase() {
 
 // segRange returns segment s's half-open range of the destination's
 // concatenated message stream.
+//
+//gm:noalloc
 func (wk *worker) segRange(s int) (int64, int64) {
 	total := int64(wk.inTotal)
 	return int64(s) * total / int64(wk.segs), int64(s+1) * total / int64(wk.segs)
 }
 
 // routeCount counts, per destination vertex, the messages of segment s.
+//
+//gm:noalloc
 func (wk *worker) routeCount(s int) {
 	cnt := wk.segCounts[s]
 	for i := range cnt {
@@ -1502,7 +1556,7 @@ func (wk *worker) routeCount(s int) {
 	if lo >= hi {
 		return
 	}
-	b := sort.Search(len(wk.routeBoxes), func(i int) bool { return wk.routePfx[i+1] > lo })
+	b := sort.Search(len(wk.routeBoxes), func(i int) bool { return wk.routePfx[i+1] > lo }) //gm:alloc-ok closure is inlined into sort.Search and never escapes; alloc gate confirms
 	off := lo - wk.routePfx[b]
 	for remaining := hi - lo; remaining > 0; b, off = b+1, 0 {
 		box := wk.routeBoxes[b]
@@ -1521,10 +1575,12 @@ func (wk *worker) routeCount(s int) {
 // the CSR inbox offsets, sizes the inbox, and reactivates message
 // recipients (maintaining the chunk active counters). Offsets derive
 // only from counts, so placement is execution-order independent.
+//
+//gm:noalloc
 func (wk *worker) routePrefix() {
 	total := wk.inTotal
 	if cap(wk.inFlat) < total {
-		wk.inFlat = make([]Msg, total)
+		wk.inFlat = make([]Msg, total) //gm:alloc-ok inbox grows to its high-water mark, then capacity is reused; steady state allocation-free
 	} else {
 		wk.inFlat = wk.inFlat[:total]
 	}
@@ -1558,13 +1614,15 @@ func (wk *worker) routePrefix() {
 
 // routePlace stably places segment s's messages at the offsets computed
 // by routePrefix.
+//
+//gm:noalloc
 func (wk *worker) routePlace(s int) {
 	lo, hi := wk.segRange(s)
 	if lo >= hi {
 		return
 	}
 	pos := wk.segCounts[s]
-	b := sort.Search(len(wk.routeBoxes), func(i int) bool { return wk.routePfx[i+1] > lo })
+	b := sort.Search(len(wk.routeBoxes), func(i int) bool { return wk.routePfx[i+1] > lo }) //gm:alloc-ok closure is inlined into sort.Search and never escapes; alloc gate confirms
 	off := lo - wk.routePfx[b]
 	for remaining := hi - lo; remaining > 0; b, off = b+1, 0 {
 		box := wk.routeBoxes[b]
