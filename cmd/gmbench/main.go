@@ -10,13 +10,17 @@
 //	gmbench -recovery      checkpoint-overhead / crash-recovery table
 //	gmbench -scaling       worker-count scaling sweep (Figure-7-style)
 //	gmbench -schedab       scheduling A/B: static vs chunked vs stealing
+//	gmbench -chaos         seeded chaos campaign: fault/stall/budget
+//	                       schedules with a bit-identity survival report
 //	gmbench -all           every mode above
 //
 // -scale multiplies graph sizes (scale 1 ≈ 5-8k vertices per graph);
 // -workers, -trials and -seed control the engine runs. The recovery
 // table is further shaped by -ckpt-every (0 sweeps {1,2,4,8}),
 // -crash-step (0 picks a mid-run superstep off the checkpoint grid),
-// and -crash-worker.
+// and -crash-worker. The chaos campaign derives its schedule matrix
+// from -seed; -chaos-schedules sets the matrix size (>= 9 covers every
+// fault phase).
 //
 // Scheduling knobs (every engine run except the -schedab configs, which
 // set their own): -chunk N forces the scheduler chunk size (0 = auto),
@@ -70,6 +74,7 @@ func main() {
 		recovery = flag.Bool("recovery", false, "measure checkpoint overhead and crash-recovery latency")
 		scaling  = flag.Bool("scaling", false, "run the worker-count scaling sweep (Figure-7-style)")
 		schedab  = flag.Bool("schedab", false, "run the scheduling A/B (static vs chunked vs stealing, interleaved trials)")
+		chaosRun = flag.Bool("chaos", false, "run the seeded chaos campaign (faults, stalls, memory pressure) with a survival report")
 		all      = flag.Bool("all", false, "regenerate everything")
 		scale    = flag.Int("scale", 2, "graph scale multiplier")
 		workers  = flag.Int("workers", 8, "engine workers")
@@ -83,6 +88,7 @@ func main() {
 		ckptEvery   = flag.Int("ckpt-every", 0, "recovery: checkpoint interval (0 sweeps 1,2,4,8)")
 		crashStep   = flag.Int("crash-step", 0, "recovery: superstep of the injected crash (0 = auto mid-run)")
 		crashWorker = flag.Int("crash-worker", 1, "recovery: worker index of the injected crash")
+		chaosScheds = flag.Int("chaos-schedules", 18, "chaos: schedules in the campaign (>= 9 covers every fault phase)")
 
 		jsonOut    = flag.Bool("json", false, "emit a machine-readable JSON report on stdout (tables go to stderr)")
 		trace      = flag.Bool("trace", false, "stream engine trace spans as JSONL and print a worker-skew report")
@@ -160,6 +166,10 @@ func main() {
 		}},
 		{"schedab", func() bool { return *schedab }, func(w io.Writer, rep *bench.Report) (err error) {
 			rep.SchedAB, err = bench.SchedAB(w, *scale, *workers, *trials, *seed)
+			return
+		}},
+		{"chaos", func() bool { return *chaosRun }, func(w io.Writer, rep *bench.Report) (err error) {
+			rep.Chaos, err = bench.ChaosSuite(w, *scale, *workers, *chaosScheds, *seed)
 			return
 		}},
 	}

@@ -84,12 +84,35 @@ type FaultPlan = pregel.FaultPlan
 // FaultPhase selects where in a superstep an injected fault fires.
 type FaultPhase = pregel.FaultPhase
 
-// Fault phases: during a worker's vertex-compute loop or at the message
-// routing barrier.
+// Fault phases, covering every engine stage: a worker's vertex-compute
+// loop, the routing barrier, chunk execution, a stolen chunk, combiner
+// fold replay, the three segmented-routing sub-phases, and the
+// checkpoint write (a torn snapshot, detected by the codec's integrity
+// frame). FaultWatchdog is reported — never armed — when the superstep
+// watchdog converts a stall into supervised recovery.
 const (
 	FaultVertexCompute = pregel.FaultVertexCompute
 	FaultRouting       = pregel.FaultRouting
+	FaultChunkExec     = pregel.FaultChunkExec
+	FaultSteal         = pregel.FaultSteal
+	FaultFold          = pregel.FaultFold
+	FaultRouteCount    = pregel.FaultRouteCount
+	FaultRoutePrefix   = pregel.FaultRoutePrefix
+	FaultRoutePlace    = pregel.FaultRoutePlace
+	FaultCheckpoint    = pregel.FaultCheckpoint
+	FaultWatchdog      = pregel.FaultWatchdog
 )
+
+// Stall is one deterministic injected worker stall (Config.Stalls): the
+// target worker's first chunk of the given superstep sleeps for
+// Duration, exercising the superstep watchdog.
+type Stall = pregel.Stall
+
+// ErrBudgetExceeded is returned (wrapped; test with errors.Is) when a
+// run's accounted memory exceeds Config.MemoryBudget even after outbox
+// release and inbox spill: the run aborts cleanly with partial Stats
+// instead of running out of memory. See docs/ROBUSTNESS.md.
+var ErrBudgetExceeded = pregel.ErrBudgetExceeded
 
 // ---- Observability ----
 //
@@ -107,8 +130,10 @@ type Span = obs.Span
 // TracePhase identifies which engine phase a span covers.
 type TracePhase = obs.Phase
 
-// Trace phases, in superstep order; PhaseRun is the final run-scoped
-// span carrying the authoritative totals.
+// Trace phases, in superstep order; PhaseSpill marks a governor inbox
+// spill, PhaseWatchdog a superstep-watchdog trip (State carries the
+// stall diagnosis), and PhaseRun is the final run-scoped span carrying
+// the authoritative totals.
 const (
 	PhaseMaster        = obs.PhaseMaster
 	PhaseVertexCompute = obs.PhaseVertexCompute
@@ -117,6 +142,8 @@ const (
 	PhaseCheckpoint    = obs.PhaseCheckpoint
 	PhaseRecovery      = obs.PhaseRecovery
 	PhaseChunk         = obs.PhaseChunk
+	PhaseSpill         = obs.PhaseSpill
+	PhaseWatchdog      = obs.PhaseWatchdog
 	PhaseRun           = obs.PhaseRun
 )
 

@@ -1,0 +1,70 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"gmpregel/internal/chaos"
+	"gmpregel/internal/manual"
+	"gmpregel/internal/pregel"
+)
+
+// ChaosSuite runs a seeded chaos campaign against the manual PageRank
+// baseline on the twitter-like graph: Generate derives the schedule
+// matrix (every injectable fault phase, composed with worker stalls and
+// memory-budget pressure) from seed, and the runner verifies every
+// schedule recovers to vertex output and semantic Stats bit-identical
+// to a fault-free run. The returned survival report is machine-readable
+// and lands in the JSON Report's "chaos" section; CI gates on
+// survived == identical == schedules.
+func ChaosSuite(w io.Writer, scale, workers, schedules int, seed int64) (*chaos.Report, error) {
+	if schedules <= 0 {
+		schedules = 18
+	}
+	spec, err := GraphByName("twitter")
+	if err != nil {
+		return nil, err
+	}
+	g := spec.Build(scale)
+	n := g.NumNodes()
+	p := DefaultParams()
+	base := engineConfig(workers, seed)
+	target := func(cfg pregel.Config) (any, pregel.Stats, error) {
+		j := &manual.PageRank{Eps: p.PRBeps, D: p.PRDamping, MaxIter: p.PRMaxIter, PR: make([]float64, n)}
+		st, err := pregel.Run(g, j, cfg)
+		return j.PR, st, err
+	}
+
+	// A fault-free probe pins the schedule horizon so every injected
+	// fault lands inside the run.
+	_, probe, err := target(base)
+	if err != nil {
+		return nil, fmt.Errorf("chaos probe: %v", err)
+	}
+	plan := chaos.Generate(seed, schedules, probe.Supersteps)
+	r := &chaos.Runner{Base: base, Target: target}
+	rep, err := r.Run(seed, plan)
+	if err != nil {
+		return nil, err
+	}
+
+	fmt.Fprintf(w, "Chaos survival report: pagerank(man) on twitter scale=%d workers=%d seed=%d (%d schedules)\n",
+		scale, workers, seed, rep.Schedules)
+	fmt.Fprintf(w, "%-4s %-44s %5s %5s %6s %7s %7s %10s %10s\n",
+		"id", "schedule", "surv", "ident", "recov", "wdstall", "spills", "spill-b", "mttr")
+	for _, res := range rep.Results {
+		fmt.Fprintf(w, "%-4d %-44s %5v %5v %6d %7d %7d %10d %10s\n",
+			res.ID, res.Label, res.Survived, res.Identical,
+			res.Recoveries, res.WatchdogStalls, res.Spills, res.SpillBytes,
+			time.Duration(res.MTTRNS).Round(time.Microsecond))
+		if res.Err != "" {
+			fmt.Fprintf(w, "     !! %s\n", res.Err)
+		}
+	}
+	fmt.Fprintf(w, "survived %d/%d, identical %d/%d, recoveries=%d watchdog=%d spills=%d spill-bytes=%d mean-mttr=%s\n",
+		rep.Survived, rep.Schedules, rep.Identical, rep.Schedules,
+		rep.Recoveries, rep.WatchdogStalls, rep.Spills, rep.SpillBytes,
+		time.Duration(rep.MeanMTTRNS).Round(time.Microsecond))
+	return rep, nil
+}

@@ -1,0 +1,29 @@
+package bench
+
+import (
+	"io"
+	"testing"
+)
+
+// The chaos suite must survive its full default schedule matrix with
+// bit-identical results — the same gate CI applies via gmbench -chaos.
+func TestChaosSuiteSurvivesAllSchedules(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode: chaos campaign includes deliberate worker stalls")
+	}
+	rep, err := ChaosSuite(io.Discard, 1, 4, 9, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Schedules != 9 || rep.Survived != 9 || rep.Identical != 9 {
+		t.Fatalf("survival: %d/%d survived, %d identical, want all of 9", rep.Survived, rep.Schedules, rep.Identical)
+	}
+	if rep.Recoveries == 0 {
+		t.Error("campaign injected faults but recorded no recoveries")
+	}
+	for _, res := range rep.Results {
+		if res.Err != "" {
+			t.Errorf("schedule %d (%s): %s", res.ID, res.Label, res.Err)
+		}
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"io"
 
+	"gmpregel/internal/chaos"
 	"gmpregel/internal/core"
 	"gmpregel/internal/obs"
 )
@@ -32,6 +33,7 @@ type Report struct {
 	Scaling  []ScalingRow     `json:"scaling,omitempty"`
 	SchedAB  []SchedABRow     `json:"schedab,omitempty"`
 	Skew     *obs.SkewReport  `json:"skew,omitempty"`
+	Chaos    *chaos.Report    `json:"chaos,omitempty"`
 }
 
 // WriteJSON renders the report as indented JSON.

@@ -1,0 +1,6 @@
+//go:build !race
+
+package chaos
+
+// raceScale is 1 in ordinary builds; see race_on.go.
+const raceScale = 1

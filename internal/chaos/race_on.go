@@ -1,0 +1,9 @@
+//go:build race
+
+package chaos
+
+// raceScale stretches the harness's stall timing when the binary is
+// race-instrumented: the detector slows supersteps roughly an order of
+// magnitude, so the un-scaled deadline would trip on healthy work and
+// exhaust the recovery budget instead of catching the injected stall.
+const raceScale = 10

@@ -76,6 +76,9 @@ func (l *Live) Snapshot() RunSnapshot {
 //	pregel_checkpoints_total          checkpoints taken
 //	pregel_checkpoint_bytes_total     serialized checkpoint bytes
 //	pregel_recoveries_total           rollback-and-replay recoveries
+//	pregel_spills_total               governor inbox spills
+//	pregel_spill_bytes_total          bytes written to the spill store
+//	pregel_watchdog_trips_total       superstep watchdog trips
 //	pregel_runs_total                 completed runs
 type MetricsObserver struct {
 	phase       [PhaseRun + 1]*Histogram
@@ -86,6 +89,9 @@ type MetricsObserver struct {
 	checkpoints *Counter
 	ckptBytes   *Counter
 	recoveries  *Counter
+	spills      *Counter
+	spillBytes  *Counter
+	wdTrips     *Counter
 	runs        *Counter
 }
 
@@ -101,6 +107,9 @@ func NewMetricsObserver(reg *Registry) *MetricsObserver {
 		checkpoints: reg.Counter("pregel_checkpoints_total", "recovery checkpoints taken"),
 		ckptBytes:   reg.Counter("pregel_checkpoint_bytes_total", "serialized checkpoint bytes"),
 		recoveries:  reg.Counter("pregel_recoveries_total", "rollback-and-replay recoveries"),
+		spills:      reg.Counter("pregel_spills_total", "governor inbox spills to the segment store"),
+		spillBytes:  reg.Counter("pregel_spill_bytes_total", "bytes written to the governor spill store"),
+		wdTrips:     reg.Counter("pregel_watchdog_trips_total", "superstep watchdog trips"),
 		runs:        reg.Counter("pregel_runs_total", "completed engine runs"),
 	}
 	for p := PhaseMaster; p <= PhaseRun; p++ {
@@ -127,6 +136,11 @@ func (m *MetricsObserver) ObserveSpan(s Span) {
 		m.ckptBytes.Add(s.Bytes)
 	case PhaseRecovery:
 		m.recoveries.Inc()
+	case PhaseSpill:
+		m.spills.Inc()
+		m.spillBytes.Add(s.Bytes)
+	case PhaseWatchdog:
+		m.wdTrips.Inc()
 	case PhaseRun:
 		m.runs.Inc()
 	}

@@ -10,8 +10,12 @@ import (
 // Phase identifies the engine phase a Span covers.
 type Phase uint8
 
-// Engine phases. PhaseRun is the whole-run summary span emitted once
-// when a run finishes (successfully or not).
+// Engine phases. PhaseSpill covers one governor inbox spill to the
+// temp-file segment store (Messages = spilled messages, Bytes = on-disk
+// segment size); PhaseWatchdog is emitted when the superstep watchdog
+// trips, with State carrying the stall diagnosis and Worker the suspect.
+// PhaseRun is the whole-run summary span emitted once when a run
+// finishes (successfully or not).
 const (
 	PhaseMaster Phase = iota
 	PhaseVertexCompute
@@ -20,6 +24,8 @@ const (
 	PhaseCheckpoint
 	PhaseRecovery
 	PhaseChunk
+	PhaseSpill
+	PhaseWatchdog
 	PhaseRun
 )
 
@@ -31,6 +37,8 @@ var phaseNames = [...]string{
 	PhaseCheckpoint:    "checkpoint",
 	PhaseRecovery:      "recovery",
 	PhaseChunk:         "chunk",
+	PhaseSpill:         "spill",
+	PhaseWatchdog:      "watchdog",
 	PhaseRun:           "run",
 }
 

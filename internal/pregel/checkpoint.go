@@ -93,19 +93,38 @@ func (e *engine) checkpointDue(step int) bool {
 }
 
 // takeCheckpoint snapshots engine and job state at the barrier entering
-// step and accounts the serialized size.
-func (e *engine) takeCheckpoint(step int) {
+// step and accounts the serialized size. The previous snapshot is
+// retained as the fallback target for torn-write recovery. Spilled
+// inboxes are restored to RAM first (the encoder serializes resident
+// state); the post-checkpoint govern pass re-spills if the budget still
+// demands it.
+func (e *engine) takeCheckpoint(step int) error {
+	if e.gov != nil {
+		if err := e.unspillAll(); err != nil {
+			return err
+		}
+	}
 	ck := &checkpoint{step: step, data: e.encodeState()}
 	if c, ok := e.job.(Checkpointable); ok {
 		ck.job = c.SnapshotState()
 	}
+	e.ckptPrev = e.ckpt
 	e.ckpt = ck
 	e.stats.Checkpoints++
 	e.stats.CheckpointBytes += int64(len(ck.data) + len(ck.job))
+	if e.armCheckpointFault(step) {
+		// Injected crash mid-write: flip a byte in the middle of the
+		// snapshot, as a torn write would. The corruption is detected by
+		// verifyFrame on the next rollback, which falls back to ckptPrev.
+		ck.data[len(ck.data)/2] ^= 0xFF
+	}
+	return nil
 }
 
 // rollback restores the last checkpoint after an injected fault and
-// returns the superstep to resume from. It fails when no checkpoint
+// returns the superstep to resume from. A snapshot that fails its
+// integrity frame (torn write, bit rot) is discarded in favor of the
+// retained previous checkpoint. Rollback fails when no valid checkpoint
 // exists or the recovery budget is exhausted; the caller then surfaces
 // the error with whatever partial Stats accumulated.
 func (e *engine) rollback(f *InjectedFault) (int, error) {
@@ -114,6 +133,16 @@ func (e *engine) rollback(f *InjectedFault) (int, error) {
 	}
 	if e.stats.Recoveries >= e.cfg.MaxRecoveries {
 		return 0, fmt.Errorf("%w (recovery budget of %d exhausted)", f, e.cfg.MaxRecoveries)
+	}
+	if !verifyFrame(e.ckpt.data) {
+		if e.ckptPrev == nil || !verifyFrame(e.ckptPrev.data) {
+			return 0, fmt.Errorf("%w (checkpoint at superstep %d is corrupt and no valid fallback exists)",
+				f, e.ckpt.step)
+		}
+		// Promote the fallback; checkpointDue will retake the discarded
+		// step with a fresh snapshot when replay reaches it.
+		e.ckpt = e.ckptPrev
+		e.ckptPrev = nil
 	}
 	// Supersteps whose work is re-executed: everything since the
 	// checkpoint plus the failed superstep itself.
@@ -155,8 +184,44 @@ func (e *engine) restoreCheckpoint() (err error) {
 // checkpointVersion is bumped whenever the serialized layout changes;
 // decodeState rejects any other version rather than misreading bytes.
 // History: v1 encoded three per-step counters; v2 extends StepStats to
-// six (adds NetworkMsgs, LocalBytes, ControlBytes).
-const checkpointVersion = 2
+// six (adds NetworkMsgs, LocalBytes, ControlBytes); v3 wraps the payload
+// in an integrity frame —
+//
+//	[version:u8][payloadLen:u64 LE][payload][fnv64a(payload):u64 LE]
+//
+// — so a torn or bit-flipped snapshot is detected instead of decoded.
+const checkpointVersion = 3
+
+// frameHeaderBytes is the version byte plus the payload-length word;
+// frameTrailerBytes the checksum word.
+const (
+	frameHeaderBytes  = 1 + 8
+	frameTrailerBytes = 8
+)
+
+// fnv64a is the FNV-1a hash of b (the checkpoint integrity checksum).
+func fnv64a(b []byte) uint64 {
+	h := uint64(14695981039346656037)
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= 1099511628211
+	}
+	return h
+}
+
+// verifyFrame reports whether data is a structurally intact v3
+// checkpoint: version, exact length, and payload checksum all match.
+func verifyFrame(data []byte) bool {
+	if len(data) < frameHeaderBytes+frameTrailerBytes || data[0] != checkpointVersion {
+		return false
+	}
+	plen := binary.LittleEndian.Uint64(data[1:frameHeaderBytes])
+	if uint64(len(data)) != frameHeaderBytes+plen+frameTrailerBytes {
+		return false
+	}
+	payload := data[frameHeaderBytes : frameHeaderBytes+plen]
+	return fnv64a(payload) == binary.LittleEndian.Uint64(data[frameHeaderBytes+plen:])
+}
 
 type stateEnc struct{ b []byte }
 
@@ -196,6 +261,7 @@ func (r *stateDec) bool() bool  { return r.u8() != 0 }
 func (e *engine) encodeState() []byte {
 	w := &stateEnc{}
 	w.u8(checkpointVersion)
+	w.u64(0) // payload length, patched once the payload is complete
 	w.bool(e.halted)
 	w.bool(e.retSet)
 	w.bool(e.retIsInt)
@@ -254,6 +320,9 @@ func (e *engine) encodeState() []byte {
 			w.u32(uint32(o))
 		}
 	}
+	plen := len(w.b) - frameHeaderBytes
+	binary.LittleEndian.PutUint64(w.b[1:frameHeaderBytes], uint64(plen))
+	w.u64(fnv64a(w.b[frameHeaderBytes : frameHeaderBytes+plen]))
 	return w.b
 }
 
@@ -264,10 +333,24 @@ func (e *engine) encodeState() []byte {
 // (Recoveries, RecoveredSupersteps, Checkpoints, CheckpointBytes) are
 // preserved, not rewound.
 func (e *engine) decodeState(data []byte) error {
-	r := &stateDec{b: data}
-	if v := r.u8(); v != checkpointVersion {
+	if len(data) < 1 {
+		return fmt.Errorf("truncated checkpoint (%d bytes)", len(data))
+	}
+	if v := data[0]; v != checkpointVersion {
 		return fmt.Errorf("unknown checkpoint version %d", v)
 	}
+	if len(data) < frameHeaderBytes {
+		return fmt.Errorf("truncated checkpoint (%d bytes)", len(data))
+	}
+	plen := binary.LittleEndian.Uint64(data[1:frameHeaderBytes])
+	if uint64(len(data)) < frameHeaderBytes+plen+frameTrailerBytes {
+		return fmt.Errorf("truncated checkpoint (%d bytes)", len(data))
+	}
+	payload := data[frameHeaderBytes : frameHeaderBytes+plen]
+	if fnv64a(payload) != binary.LittleEndian.Uint64(data[frameHeaderBytes+plen:]) {
+		return fmt.Errorf("checkpoint checksum mismatch")
+	}
+	r := &stateDec{b: payload}
 	e.halted = r.bool()
 	e.retSet = r.bool()
 	e.retIsInt = r.bool()
@@ -288,6 +371,7 @@ func (e *engine) decodeState(data []byte) error {
 		e.aggValues[i] = aggCell{set: r.bool(), i: r.i64(), f: floatFromBits(r.u64())}
 	}
 	rec, recSteps, cks, ckb := e.stats.Recoveries, e.stats.RecoveredSupersteps, e.stats.Checkpoints, e.stats.CheckpointBytes
+	sp, spb, mpk, wds := e.stats.Spills, e.stats.SpillBytes, e.stats.MemoryPeakBytes, e.stats.WatchdogStalls
 	e.stats = Stats{
 		Supersteps:   int(r.i64()),
 		MessagesSent: r.i64(),
@@ -298,6 +382,7 @@ func (e *engine) decodeState(data []byte) error {
 		VertexCalls:  r.i64(),
 	}
 	e.stats.Recoveries, e.stats.RecoveredSupersteps, e.stats.Checkpoints, e.stats.CheckpointBytes = rec, recSteps, cks, ckb
+	e.stats.Spills, e.stats.SpillBytes, e.stats.MemoryPeakBytes, e.stats.WatchdogStalls = sp, spb, mpk, wds
 	if n := int(r.u32()); n > 0 {
 		e.stats.Steps = make([]StepStats, n)
 		for i := range e.stats.Steps {
@@ -376,6 +461,14 @@ func (e *engine) decodeState(data []byte) error {
 		wk.cursor.Store(0)
 		wk.crashed.Store(false)
 		wk.faultAt = -1
+		wk.chunkFaultAt = -1
+		wk.stealFault.Store(false)
+		wk.foldFault = false
+		wk.routeFaultOn = false
+		wk.phaseErr = nil
+		wk.stallNS = 0
+		wk.spilled = false
+		wk.inDepth.Store(int64(wk.inTotal))
 	}
 	for _, x := range e.executors {
 		x.err = nil

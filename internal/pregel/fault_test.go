@@ -11,10 +11,12 @@ import (
 	"gmpregel/internal/graph/gen"
 )
 
-// statsModuloRecovery clears the recovery-cost fields so faulty and
-// fault-free runs can be compared for everything else.
+// statsModuloRecovery clears the recovery-cost and resource-governance
+// fields so faulty, stalled, and budget-constrained runs can be compared
+// against clean runs for everything else.
 func statsModuloRecovery(st Stats) Stats {
 	st.Checkpoints, st.CheckpointBytes, st.Recoveries, st.RecoveredSupersteps = 0, 0, 0, 0
+	st.Spills, st.SpillBytes, st.MemoryPeakBytes, st.WatchdogStalls = 0, 0, 0, 0
 	return st
 }
 

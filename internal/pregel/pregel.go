@@ -225,6 +225,34 @@ type Config struct {
 	// never concurrently. When nil the engine takes no timestamps and the
 	// hot path is identical to an unobserved run.
 	Observer obs.Observer
+	// MemoryBudget caps the engine's accounted message/inbox/checkpoint
+	// memory (see docs/ROBUSTNESS.md). When the budget is exceeded the
+	// governor degrades in stages — release routed outbox retention,
+	// spill inboxes to a temp-file segment store — and aborts with
+	// ErrBudgetExceeded (carrying partial Stats) only when even a fully
+	// spilled engine does not fit. 0 disables the governor. Accounting is
+	// a pure function of configuration and seed, so governed runs remain
+	// deterministic.
+	MemoryBudget int64
+	// Watchdog enables the superstep watchdog: a per-superstep deadline
+	// derived from a trailing EWMA of superstep wall time; a superstep
+	// exceeding it is diagnosed (per-worker phase, chunk cursor, inbox
+	// depth) and converted into supervised rollback-and-replay with
+	// capped exponential backoff, bounded by MaxRecoveries.
+	Watchdog bool
+	// StepDeadline overrides the watchdog's EWMA-derived deadline with a
+	// fixed per-superstep budget; setting it implies Watchdog.
+	StepDeadline time.Duration
+	// BackoffBase and BackoffCap shape the watchdog's supervised-recovery
+	// backoff: attempt n waits ~min(BackoffBase<<n, BackoffCap) with
+	// deterministic seed-derived jitter. Zero values default to
+	// 1ms / 250ms.
+	BackoffBase time.Duration
+	BackoffCap  time.Duration
+	// Stalls deterministically injects worker stalls (chaos testing):
+	// the target worker's first chunk of the given superstep sleeps for
+	// the configured duration. Each stall fires at most once.
+	Stalls []Stall
 }
 
 func (c Config) withDefaults() Config {
@@ -293,6 +321,17 @@ type Stats struct {
 	CheckpointBytes     int64
 	Recoveries          int
 	RecoveredSupersteps int
+
+	// Governor and watchdog accounting, monotone like the four counters
+	// above (never rewound by rollback). All four stay zero unless
+	// MemoryBudget or the watchdog is enabled, so they never perturb
+	// bit-identical Stats comparisons of ungoverned runs.
+	// MemoryPeakBytes is the high-water accounted usage observed at
+	// govern points, before any degradation.
+	Spills          int
+	SpillBytes      int64
+	MemoryPeakBytes int64
+	WatchdogStalls  int
 }
 
 type aggCell struct {
@@ -460,10 +499,21 @@ type engine struct {
 	retInt     int64
 	retFloat   float64
 
-	// Fault tolerance.
-	ckptOn bool
-	ckpt   *checkpoint
-	faults []faultState
+	// Fault tolerance. ckptPrev retains the previous snapshot as the
+	// fallback target when the current one fails its integrity check.
+	ckptOn   bool
+	ckpt     *checkpoint
+	ckptPrev *checkpoint
+	faults   []faultState
+	stalls   []stallState
+
+	// Resource governance and supervision. mark is the last
+	// completed-barrier snapshot of the semantic counters; an aborting
+	// run reports it instead of a partially merged barrier state.
+	gov     *governor
+	wd      *watchdog
+	wdEpoch time.Time
+	mark    commitMark
 
 	// Observability. obsOn caches cfg.Observer != nil so the hot path
 	// tests a bool, not an interface; runStart anchors span timestamps.
@@ -576,6 +626,36 @@ type worker struct {
 	// faultAt is the local vertex index at which an armed injected fault
 	// fires this superstep; -1 when no fault is armed.
 	faultAt int
+
+	// Extended fault-injection arming (see fault.go). chunkFaultAt is the
+	// chunk index at which an armed chunk-exec fault fires (-1 when
+	// unarmed); stealFault crashes the worker when one of its chunks runs
+	// on a foreign executor; foldFault crashes it mid-fold; routeFaultOn/
+	// routeFault fail it inside the armed routing sub-phase. faultStep
+	// records the arming superstep for phases that raise the failure from
+	// executor goroutines; phaseErr carries it to the barrier.
+	chunkFaultAt int
+	stealFault   atomic.Bool
+	foldFault    bool
+	routeFaultOn bool
+	routeFault   FaultPhase
+	faultStep    int
+	phaseErr     error
+
+	// stallNS is an armed injected stall: whoever executes chunk 0 of
+	// this worker sleeps that long first. Written by the barrier
+	// goroutine before dispatch, cleared when the phase is collected.
+	stallNS int64
+
+	// Governor spill state: when spilled, inFlat is empty and the routed
+	// inbox lives in the spill store segment at spillOff (inOff is
+	// retained, so chunk windows remain addressable).
+	spilled  bool
+	spillOff int64
+
+	// inDepth publishes the inbox depth routed into this worker, for the
+	// watchdog's cross-goroutine stall diagnosis.
+	inDepth atomic.Int64
 }
 
 // ownerOf returns the worker index owning vertex v.
@@ -617,6 +697,14 @@ type executor struct {
 	rngID    graph.NodeID
 	rngStep  int
 	seedBase uint64
+
+	// curPhase publishes the phaseKind this executor is running (-1 when
+	// parked), for the watchdog's stall diagnosis.
+	curPhase atomic.Int32
+
+	// Retained scratch for reading spilled inbox windows.
+	spillMsgs []Msg
+	spillRaw  []byte
 
 	err error
 }
@@ -734,7 +822,10 @@ func newEngine(g *graph.Directed, job Job, cfg Config) *engine {
 	e.aggValues = make([]aggCell, len(e.schema.Aggregators))
 	e.masterSrc = newCountingSource(cfg.Seed)
 	e.masterRand = rand.New(e.masterSrc) //gm:nondeterministic-ok wraps the seeded, draw-counted master source; replayable from checkpoints
-	e.ckptOn = cfg.CheckpointEvery > 0 || len(cfg.Faults) > 0
+	// Watchdog trips and injected stalls are repaired by rollback, so
+	// either forces at least the superstep-0 checkpoint.
+	e.ckptOn = cfg.CheckpointEvery > 0 || len(cfg.Faults) > 0 ||
+		cfg.Watchdog || cfg.StepDeadline > 0 || len(cfg.Stalls) > 0
 	e.obsOn = cfg.Observer != nil
 	if e.obsOn {
 		e.runStart = time.Now() //gm:nondeterministic-ok span timebase for observability output only; never feeds Stats
@@ -742,6 +833,17 @@ func newEngine(g *graph.Directed, job Job, cfg Config) *engine {
 	e.faults = make([]faultState, len(cfg.Faults))
 	for i, f := range cfg.Faults {
 		e.faults[i] = faultState{Fault: f}
+	}
+	e.stalls = make([]stallState, len(cfg.Stalls))
+	for i, s := range cfg.Stalls {
+		e.stalls[i] = stallState{Stall: s}
+	}
+	if cfg.MemoryBudget > 0 {
+		e.gov = &governor{budget: cfg.MemoryBudget}
+	}
+	if cfg.Watchdog || cfg.StepDeadline > 0 {
+		e.wdEpoch = time.Now() //gm:nondeterministic-ok watchdog timebase: feeds deadlines and diagnosis text only, never Stats semantics
+		e.wd = newWatchdog(e, cfg.StepDeadline)
 	}
 
 	// Partitioning: compute each worker's owned IDs.
@@ -752,7 +854,7 @@ func newEngine(g *graph.Directed, job Job, cfg Config) *engine {
 	}
 	e.workers = make([]*worker, e.numWorkers)
 	for w := 0; w < e.numWorkers; w++ {
-		wk := &worker{e: e, index: w, faultAt: -1}
+		wk := &worker{e: e, index: w, faultAt: -1, chunkFaultAt: -1}
 		if rangeStarts != nil {
 			lo, hi := rangeStarts[w], rangeStarts[w+1]
 			wk.startID = graph.NodeID(lo)
@@ -831,10 +933,14 @@ func newEngine(g *graph.Directed, job Job, cfg Config) *engine {
 		x.rng = rand.New(&x.rngSrc) //gm:nondeterministic-ok wraps the per-vertex reseeded source (seedBase ^ step ^ id); schedule-independent by construction
 		x.vc = VertexContext{ex: x}
 		x.cmds = make(chan poolCmd, 1)
+		x.curPhase.Store(-1)
 		e.executors[i] = x
 	}
 	for _, x := range e.executors {
 		go x.poolRun()
+	}
+	if e.wd != nil {
+		go e.wd.run()
 	}
 	return e
 }
@@ -848,6 +954,13 @@ func (e *engine) stop() {
 		return
 	}
 	e.stopped = true
+	if e.wd != nil {
+		close(e.wd.stopc)
+		<-e.wd.exited
+	}
+	if e.gov != nil {
+		e.gov.spill.close()
+	}
 	for _, x := range e.executors {
 		close(x.cmds)
 	}
@@ -890,7 +1003,9 @@ func (x *executor) poolRun() {
 // deadlock the master). Vertex-chunk panics are caught closer to the
 // work, in runChunk, so one chunk's panic does not abandon the phase.
 func (x *executor) runCmd(cmd poolCmd) {
+	x.curPhase.Store(int32(cmd.kind))
 	defer func() {
+		x.curPhase.Store(-1)
 		if r := recover(); r != nil && x.err == nil {
 			x.err = fmt.Errorf("pregel: executor %d panicked in %v phase: %v", x.id, cmd.kind, r)
 		}
@@ -1008,6 +1123,39 @@ func (x *executor) runChunk(wk *worker, ci, step int) {
 	if wk.crashed.Load() {
 		return
 	}
+	// Injected stall (chaos testing): whoever executes the stalled
+	// worker's first chunk sleeps, overrunning the watchdog deadline.
+	if wk.stallNS > 0 && ci == 0 {
+		time.Sleep(time.Duration(wk.stallNS))
+	}
+	// Injected steal fault: the worker dies the moment one of its chunks
+	// runs on a foreign executor.
+	if x.id != wk.index && wk.stealFault.Load() && wk.stealFault.CompareAndSwap(true, false) {
+		ck.err = &InjectedFault{Superstep: step, Worker: wk.index, Phase: FaultSteal} //gm:alloc-ok fault-injection testing path; never armed in production runs
+		wk.crashed.Store(true)
+		return
+	}
+	// Injected chunk-exec fault: the worker dies entering its middle
+	// chunk, with earlier chunks fully executed.
+	if wk.chunkFaultAt >= 0 && ci == wk.chunkFaultAt {
+		ck.err = &InjectedFault{Superstep: step, Worker: wk.index, Phase: FaultChunkExec} //gm:alloc-ok fault-injection testing path; never armed in production runs
+		wk.crashed.Store(true)
+		return
+	}
+	// Spilled inbox: stream this chunk's contiguous window back from the
+	// segment store into executor-local scratch (inOff stays global, so
+	// message slicing below rebases against the window start).
+	flat := wk.inFlat
+	var base int32
+	if wk.spilled {
+		var err error
+		flat, err = x.readSpillWindow(wk, ck) //gm:alloc-ok post-degradation path: spill read-back grows retained scratch to its high-water mark
+		if err != nil {
+			ck.err = err
+			return
+		}
+		base = wk.inOff[ck.lo]
+	}
 	vc := &x.vc
 	vc.wk = wk
 	vc.ck = ck
@@ -1031,7 +1179,7 @@ func (x *executor) runChunk(wk *worker, ci, step int) {
 		}
 		vc.id = wk.ids[li]
 		vc.local = li
-		vc.msgs = wk.inFlat[wk.inOff[li]:wk.inOff[li+1]]
+		vc.msgs = flat[wk.inOff[li]-base : wk.inOff[li+1]-base]
 		ck.calls++
 		e.job.VertexCompute(vc) //gm:alloc-ok job contract: VertexCompute must be allocation-free; perf_test gates the full cycle at AllocsPerRun==0
 	}
@@ -1075,10 +1223,28 @@ func (wk *worker) fold() {
 		wk.outboxes[d] = wk.outboxes[d][:0]
 	}
 	clear(wk.combineIdx)
+	// Injected fold fault: die midway through the replay, with outboxes
+	// partially folded. Aborting here is safe — fold faults are collected
+	// before the barrier, so the partial outboxes are never routed.
+	limit := -1
+	if wk.foldFault {
+		total := 0
+		for ci := range wk.chunks {
+			total += len(wk.chunks[ci].raw)
+		}
+		limit = total / 2
+	}
+	replayed := 0
 	for ci := range wk.chunks {
 		ck := &wk.chunks[ci]
 		for i := range ck.raw {
+			if replayed == limit {
+				wk.foldFault = false
+				wk.phaseErr = &InjectedFault{Superstep: wk.faultStep, Worker: wk.index, Phase: FaultFold} //gm:alloc-ok fault-injection testing path; never armed in production runs
+				return
+			}
 			wk.foldSend(ck.raw[i])
+			replayed++
 		}
 		ck.raw = ck.raw[:0]
 	}
@@ -1124,8 +1290,72 @@ func (wk *worker) foldSend(m Msg) {
 	}
 }
 
+// commitMark is a snapshot of the semantic counters at a completed
+// barrier (or a restored checkpoint, which is one). An aborting run is
+// rewound to the mark, so Stats.Returned*/Supersteps/traffic counters
+// never expose a partially merged barrier state; the monotone
+// fault-tolerance counters are exempt by design.
+type commitMark struct {
+	supersteps                                                        int
+	messagesSent, networkMsgs, networkBytes, localBytes, controlBytes int64
+	vertexCalls                                                       int64
+	steps                                                             int
+	retSet, retIsInt                                                  bool
+	retInt                                                            int64
+	retFloat                                                          float64
+}
+
+//gm:noalloc
+func (e *engine) markCommitted() {
+	e.mark.supersteps = e.stats.Supersteps
+	e.mark.messagesSent = e.stats.MessagesSent
+	e.mark.networkMsgs = e.stats.NetworkMsgs
+	e.mark.networkBytes = e.stats.NetworkBytes
+	e.mark.localBytes = e.stats.LocalBytes
+	e.mark.controlBytes = e.stats.ControlBytes
+	e.mark.vertexCalls = e.stats.VertexCalls
+	e.mark.steps = len(e.stats.Steps)
+	e.mark.retSet = e.retSet
+	e.mark.retIsInt = e.retIsInt
+	e.mark.retInt = e.retInt
+	e.mark.retFloat = e.retFloat
+}
+
+func (e *engine) restoreCommitted() {
+	e.stats.Supersteps = e.mark.supersteps
+	e.stats.MessagesSent = e.mark.messagesSent
+	e.stats.NetworkMsgs = e.mark.networkMsgs
+	e.stats.NetworkBytes = e.mark.networkBytes
+	e.stats.LocalBytes = e.mark.localBytes
+	e.stats.ControlBytes = e.mark.controlBytes
+	e.stats.VertexCalls = e.mark.vertexCalls
+	if len(e.stats.Steps) > e.mark.steps {
+		e.stats.Steps = e.stats.Steps[:e.mark.steps]
+	}
+	e.retSet = e.mark.retSet
+	e.retIsInt = e.mark.retIsInt
+	e.retInt = e.mark.retInt
+	e.retFloat = e.mark.retFloat
+}
+
+// loop drives the run to completion. On an aborting error the semantic
+// counters are rewound to the last completed barrier, so partial Stats
+// are always barrier-consistent.
 func (e *engine) loop(ctx context.Context) error {
+	e.markCommitted()
+	err := e.run(ctx)
+	if err != nil {
+		e.restoreCommitted()
+	}
+	return err
+}
+
+func (e *engine) run(ctx context.Context) error {
 	for step := 0; ; {
+		// Everything the engine observes here is a completed-barrier
+		// state: the start of the run, the end of a fully merged-and-routed
+		// superstep, or a freshly restored checkpoint.
+		e.markCommitted()
 		if err := ctx.Err(); err != nil {
 			return fmt.Errorf("pregel: run canceled at superstep %d: %w", step, err)
 		}
@@ -1133,15 +1363,28 @@ func (e *engine) loop(ctx context.Context) error {
 			return fmt.Errorf("pregel: exceeded %d supersteps", e.cfg.MaxSupersteps)
 		}
 		if e.checkpointDue(step) {
+			var t0, before int64
 			if e.obsOn {
-				t0 := e.nowNS()
-				before := e.stats.CheckpointBytes
-				e.takeCheckpoint(step)
+				t0 = e.nowNS()
+				before = e.stats.CheckpointBytes
+			}
+			if err := e.takeCheckpoint(step); err != nil {
+				return err
+			}
+			if e.obsOn {
 				e.emit(obs.Span{Superstep: step, Worker: -1, Phase: obs.PhaseCheckpoint,
 					StartNS: t0, DurNS: e.nowNS() - t0, Bytes: e.stats.CheckpointBytes - before})
-			} else {
-				e.takeCheckpoint(step)
 			}
+		}
+		// Govern point 1: the retained checkpoints and last superstep's
+		// routed buffers coexist here.
+		if e.gov != nil {
+			if err := e.govern(step); err != nil {
+				return err
+			}
+		}
+		if e.wd != nil {
+			e.wd.beginStep(step)
 		}
 		// Master phase: sees aggregator values contributed last superstep.
 		var masterT0 int64
@@ -1167,6 +1410,7 @@ func (e *engine) loop(ctx context.Context) error {
 		}
 		// Vertex phase: release the parked pool into the chunk queues.
 		e.armVertexFault(step)
+		e.armStall(step)
 		e.runVertexPhase(step)
 		if e.obsOn {
 			e.emitVertexSpans(step, stateLabel)
@@ -1176,6 +1420,11 @@ func (e *engine) loop(ctx context.Context) error {
 			return err
 		}
 		if crashed != nil {
+			// Disarm before rolling back so the restore never trips the
+			// watchdog; an overlapping trip is subsumed by this recovery.
+			if e.wd != nil {
+				e.wd.endStep()
+			}
 			resume, err := e.recoverFrom(crashed, step)
 			if err != nil {
 				return err
@@ -1249,6 +1498,9 @@ func (e *engine) loop(ctx context.Context) error {
 		}
 
 		if f := e.armRoutingFault(step); f != nil {
+			if e.wd != nil {
+				e.wd.endStep()
+			}
 			resume, err := e.recoverFrom(f, step)
 			if err != nil {
 				return err
@@ -1269,6 +1521,54 @@ func (e *engine) loop(ctx context.Context) error {
 			if x.err != nil {
 				return x.err
 			}
+		}
+		// Faults raised inside the routing sub-phases (fail-stop: the
+		// sub-phase finished its work, the failure surfaces at the
+		// barrier).
+		routeCrashed, err := e.collectRoutingFaults()
+		if err != nil {
+			return err
+		}
+		if routeCrashed != nil {
+			if e.wd != nil {
+				e.wd.endStep()
+			}
+			resume, err := e.recoverFrom(routeCrashed, step)
+			if err != nil {
+				return err
+			}
+			step = resume
+			continue
+		}
+		// The superstep's work is done: disarm the watchdog, then govern
+		// point 2 (outboxes and the freshly routed inboxes coexist), then
+		// convert a detected stall into supervised recovery with
+		// deterministic capped-exponential backoff.
+		tripped := false
+		if e.wd != nil {
+			tripped = e.wd.endStep()
+		}
+		if e.gov != nil {
+			if err := e.govern(step); err != nil {
+				return err
+			}
+		}
+		if tripped {
+			e.stats.WatchdogStalls++
+			diag, suspect := e.wd.diagnosis()
+			if e.obsOn {
+				dur := e.wdNowNS() - e.wd.startNS.Load()
+				e.emit(obs.Span{Superstep: step, Worker: suspect, Phase: obs.PhaseWatchdog,
+					StartNS: e.nowNS() - dur, DurNS: dur, State: diag})
+			}
+			f := &InjectedFault{Superstep: step, Worker: suspect, Phase: FaultWatchdog}
+			resume, err := e.recoverFrom(f, step)
+			if err != nil {
+				return err
+			}
+			time.Sleep(backoffFor(e.cfg.Seed, e.stats.Recoveries-1, e.cfg.BackoffBase, e.cfg.BackoffCap))
+			step = resume
+			continue
 		}
 		// Termination check: refresh the per-worker active counters from
 		// the chunk counters maintained by runChunk/VoteToHalt/routing —
@@ -1340,13 +1640,37 @@ func (e *engine) collectPhaseErrors(step int) (*InjectedFault, error) {
 		}
 	}
 	for _, wk := range e.workers {
+		wk.stallNS = 0
 		// A fault armed on a worker owning too few vertices (faultAt
 		// beyond its range) crashes at phase end, like the pre-chunk
-		// engine.
+		// engine. The same fallback covers a chunk-exec fault on a
+		// chunkless worker, a steal fault when nothing was stolen (NoSteal,
+		// single worker), and a fold fault on a worker that never folds.
 		if wk.faultAt >= len(wk.ids) && wk.faultAt >= 0 {
 			crashed = &InjectedFault{Superstep: step, Worker: wk.index, Phase: FaultVertexCompute}
 		}
+		if wk.chunkFaultAt >= len(wk.chunks) && wk.chunkFaultAt >= 0 {
+			crashed = &InjectedFault{Superstep: step, Worker: wk.index, Phase: FaultChunkExec}
+		}
+		if wk.stealFault.CompareAndSwap(true, false) {
+			crashed = &InjectedFault{Superstep: step, Worker: wk.index, Phase: FaultSteal}
+		}
+		if wk.foldFault {
+			wk.foldFault = false
+			crashed = &InjectedFault{Superstep: step, Worker: wk.index, Phase: FaultFold}
+		}
+		if wk.phaseErr != nil {
+			perr := wk.phaseErr
+			wk.phaseErr = nil
+			var inj *InjectedFault
+			if errors.As(perr, &inj) {
+				crashed = inj
+			} else {
+				return nil, perr
+			}
+		}
 		wk.faultAt = -1
+		wk.chunkFaultAt = -1
 		wk.crashed.Store(false)
 		for ci := range wk.chunks {
 			ck := &wk.chunks[ci]
@@ -1363,6 +1687,28 @@ func (e *engine) collectPhaseErrors(step int) (*InjectedFault, error) {
 			ck.err = nil
 			return nil, err
 		}
+	}
+	return crashed, nil
+}
+
+// collectRoutingFaults scans workers after the routing barrier for
+// failures raised inside the count/prefix/place sub-phases. Injected
+// faults are returned for recovery; anything else aborts the run.
+func (e *engine) collectRoutingFaults() (*InjectedFault, error) {
+	var crashed *InjectedFault
+	for _, wk := range e.workers {
+		wk.routeFaultOn = false
+		if wk.phaseErr == nil {
+			continue
+		}
+		perr := wk.phaseErr
+		wk.phaseErr = nil
+		var inj *InjectedFault
+		if errors.As(perr, &inj) {
+			crashed = inj
+			continue
+		}
+		return nil, perr
 	}
 	return crashed, nil
 }
@@ -1434,6 +1780,9 @@ func (e *engine) routeMessages() bool {
 // superstep. O(workers × chunks); runs on the barrier goroutine.
 func (e *engine) routePlan() {
 	for _, wk := range e.workers {
+		// Routing rebuilds the inbox in RAM; any spill segment from the
+		// previous superstep is dead from here on.
+		wk.spilled = false
 		wk.routeBoxes = wk.routeBoxes[:0]
 		wk.routePfx = wk.routePfx[:0]
 		var total int64
@@ -1458,6 +1807,7 @@ func (e *engine) routePlan() {
 			}
 		}
 		wk.inTotal = int(total)
+		wk.inDepth.Store(total)
 		// Segment count: enough that each segment's placement work
 		// dominates its O(len(ids)) prefix column, capped by the scratch.
 		segs := 1
@@ -1548,6 +1898,10 @@ func (wk *worker) segRange(s int) (int64, int64) {
 //
 //gm:noalloc
 func (wk *worker) routeCount(s int) {
+	if s == 0 && wk.routeFaultOn && wk.routeFault == FaultRouteCount {
+		wk.routeFaultOn = false
+		wk.phaseErr = &InjectedFault{Superstep: wk.faultStep, Worker: wk.index, Phase: FaultRouteCount} //gm:alloc-ok fault-injection testing path; never armed in production runs
+	}
 	cnt := wk.segCounts[s]
 	for i := range cnt {
 		cnt[i] = 0
@@ -1578,6 +1932,10 @@ func (wk *worker) routeCount(s int) {
 //
 //gm:noalloc
 func (wk *worker) routePrefix() {
+	if wk.routeFaultOn && wk.routeFault == FaultRoutePrefix {
+		wk.routeFaultOn = false
+		wk.phaseErr = &InjectedFault{Superstep: wk.faultStep, Worker: wk.index, Phase: FaultRoutePrefix} //gm:alloc-ok fault-injection testing path; never armed in production runs
+	}
 	total := wk.inTotal
 	if cap(wk.inFlat) < total {
 		wk.inFlat = make([]Msg, total) //gm:alloc-ok inbox grows to its high-water mark, then capacity is reused; steady state allocation-free
@@ -1617,6 +1975,10 @@ func (wk *worker) routePrefix() {
 //
 //gm:noalloc
 func (wk *worker) routePlace(s int) {
+	if s == 0 && wk.routeFaultOn && wk.routeFault == FaultRoutePlace {
+		wk.routeFaultOn = false
+		wk.phaseErr = &InjectedFault{Superstep: wk.faultStep, Worker: wk.index, Phase: FaultRoutePlace} //gm:alloc-ok fault-injection testing path; never armed in production runs
+	}
 	lo, hi := wk.segRange(s)
 	if lo >= hi {
 		return

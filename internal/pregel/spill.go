@@ -1,0 +1,113 @@
+package pregel
+
+import (
+	"encoding/binary"
+	"fmt"
+	"os"
+
+	"gmpregel/internal/graph"
+)
+
+// spillRecBytes is the fixed on-disk size of one spilled message:
+// 4-byte destination id, 1-byte type tag, four 8-byte payload slots.
+// The encoding is position-independent, so a window of records can be
+// read back from any offset with a single ReadAt.
+const spillRecBytes = 4 + 1 + 8*MaxPayloadSlots
+
+// spillStore is the governor's temp-file segment store for inboxes that
+// no longer fit the memory budget. The file is created lazily, unlinked
+// immediately (the OS reclaims it when the run exits, even on a crash),
+// and written append-only: each spill event claims a contiguous segment
+// of records. Reads use ReadAt, which is safe for concurrent use by
+// stealing executors.
+type spillStore struct {
+	f    *os.File
+	size int64 // bytes written so far (next segment offset)
+}
+
+// open lazily creates the backing temp file.
+func (s *spillStore) open() error {
+	if s.f != nil {
+		return nil
+	}
+	f, err := os.CreateTemp("", "gmpregel-spill-*")
+	if err != nil {
+		return fmt.Errorf("pregel: cannot create spill file: %w", err)
+	}
+	// Unlink immediately: the fd keeps the segments alive and the file
+	// can never outlive the process.
+	_ = os.Remove(f.Name())
+	s.f = f
+	return nil
+}
+
+func (s *spillStore) close() {
+	if s.f != nil {
+		_ = s.f.Close()
+		s.f = nil
+	}
+	s.size = 0
+}
+
+// writeSegment appends msgs as one contiguous segment and returns its
+// byte offset. The encoding round-trips bit-identically: every payload
+// slot is stored raw.
+func (s *spillStore) writeSegment(msgs []Msg, scratch []byte) (off int64, buf []byte, err error) {
+	if err := s.open(); err != nil {
+		return 0, scratch, err
+	}
+	need := len(msgs) * spillRecBytes
+	if cap(scratch) < need {
+		scratch = make([]byte, need)
+	}
+	buf = scratch[:need]
+	for i := range msgs {
+		encodeSpillRec(buf[i*spillRecBytes:(i+1)*spillRecBytes], &msgs[i])
+	}
+	off = s.size
+	if _, err := s.f.WriteAt(buf, off); err != nil {
+		return 0, buf, fmt.Errorf("pregel: spill write failed: %w", err)
+	}
+	s.size += int64(need)
+	return off, buf, nil
+}
+
+// readWindow reads count records starting at record index first of the
+// segment at off into dst (grown as needed) and decodes them.
+func (s *spillStore) readWindow(dst []Msg, raw []byte, off int64, first, count int) ([]Msg, []byte, error) {
+	need := count * spillRecBytes
+	if cap(raw) < need {
+		raw = make([]byte, need)
+	}
+	raw = raw[:need]
+	if cap(dst) < count {
+		dst = make([]Msg, count)
+	}
+	dst = dst[:count]
+	if count == 0 {
+		return dst, raw, nil
+	}
+	if _, err := s.f.ReadAt(raw, off+int64(first)*spillRecBytes); err != nil {
+		return dst, raw, fmt.Errorf("pregel: spill read failed: %w", err)
+	}
+	for i := range dst {
+		decodeSpillRec(raw[i*spillRecBytes:(i+1)*spillRecBytes], &dst[i])
+	}
+	return dst, raw, nil
+}
+
+func encodeSpillRec(b []byte, m *Msg) {
+	binary.LittleEndian.PutUint32(b[0:4], uint32(m.Dst))
+	b[4] = m.Type
+	for s := 0; s < MaxPayloadSlots; s++ {
+		binary.LittleEndian.PutUint64(b[5+8*s:], m.V[s])
+	}
+}
+
+func decodeSpillRec(b []byte, m *Msg) {
+	m.Dst = graph.NodeID(int32(binary.LittleEndian.Uint32(b[0:4])))
+	m.Type = b[4]
+	for s := 0; s < MaxPayloadSlots; s++ {
+		m.V[s] = binary.LittleEndian.Uint64(b[5+8*s:])
+	}
+}

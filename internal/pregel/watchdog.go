@@ -1,0 +1,246 @@
+package pregel
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Stall deterministically injects a worker stall for chaos testing: the
+// target worker's first vertex chunk of the given superstep sleeps for
+// Duration before executing, stalling the phase barrier and (when the
+// watchdog is enabled and the stall overruns the superstep deadline)
+// triggering supervised recovery. Like a Fault, a Stall fires at most
+// once: the replay after recovery runs unstalled.
+type Stall struct {
+	Superstep int
+	Worker    int
+	Duration  time.Duration
+}
+
+// stallState tracks whether a planned stall has fired; fired persists
+// across rollback so replays do not re-stall.
+type stallState struct {
+	Stall
+	fired bool
+}
+
+// Watchdog tuning. The EWMA-derived deadline is deliberately generous
+// (many multiples of the trailing superstep time, with a high floor) so
+// a healthy run never trips; Config.StepDeadline overrides it for tests
+// and latency-sensitive callers.
+const (
+	wdEwmaAlpha   = 0.3
+	wdEwmaFactor  = 16
+	wdMinDeadline = 250 * time.Millisecond
+	wdMinPoll     = time.Millisecond
+	wdMaxPoll     = 25 * time.Millisecond
+)
+
+// Backoff defaults for watchdog-supervised recovery.
+const (
+	defaultBackoffBase = time.Millisecond
+	defaultBackoffCap  = 250 * time.Millisecond
+)
+
+// backoffFor returns the pause before the attempt-th supervised replay:
+// capped exponential growth from base with deterministic, seed-derived
+// jitter in [d/2, d], so a fixed (seed, attempt) pair always waits the
+// same time and concurrent engines with different seeds desynchronize.
+func backoffFor(seed int64, attempt int, base, cap time.Duration) time.Duration {
+	if base <= 0 {
+		base = defaultBackoffBase
+	}
+	if cap <= 0 {
+		cap = defaultBackoffCap
+	}
+	d := base
+	for i := 0; i < attempt && d < cap; i++ {
+		d *= 2
+	}
+	if d > cap {
+		d = cap
+	}
+	half := d / 2
+	jitter := time.Duration(mix64(uint64(seed)^(uint64(attempt)+1)*0x9e3779b97f4a7c15) % uint64(half+1))
+	return half + jitter
+}
+
+// watchdog supervises superstep wall time. The barrier goroutine arms it
+// at the start of every superstep with a deadline derived from a
+// trailing EWMA of superstep duration (or Config.StepDeadline), and
+// disarms it at the end; a dedicated poller goroutine detects overruns
+// and captures a diagnosis from race-safe sources only (atomic chunk
+// cursors, published inbox depths, per-executor phase markers). The
+// barrier goroutine later consumes the trip: it emits the diagnosis as a
+// watchdog span and converts the stall into supervised
+// rollback-and-replay with seeded capped-exponential backoff.
+type watchdog struct {
+	e *engine
+
+	override time.Duration // Config.StepDeadline; 0 derives from the EWMA
+	ewmaNS   float64       // trailing superstep wall time; barrier goroutine only
+
+	armed      atomic.Bool
+	startNS    atomic.Int64
+	deadlineNS atomic.Int64
+	stepNo     atomic.Int64
+	tripped    atomic.Bool
+	suspect    atomic.Int32
+
+	mu   sync.Mutex
+	diag string
+
+	stopc  chan struct{}
+	exited chan struct{}
+}
+
+func newWatchdog(e *engine, override time.Duration) *watchdog {
+	w := &watchdog{e: e, override: override, stopc: make(chan struct{}), exited: make(chan struct{})}
+	w.suspect.Store(-1)
+	return w
+}
+
+// wdNowNS is the watchdog timebase: nanoseconds since engine creation.
+//
+//gm:nondeterministic-ok watchdog timebase only: feeds deadlines and diagnosis text, never Stats semantics or vertex state
+//gm:noalloc
+func (e *engine) wdNowNS() int64 { return time.Since(e.wdEpoch).Nanoseconds() }
+
+// beginStep arms the watchdog for one superstep (master phase through
+// routing). Barrier goroutine only; allocation-free.
+//
+//gm:noalloc
+func (w *watchdog) beginStep(step int) {
+	dl := w.override
+	if dl <= 0 {
+		if w.ewmaNS > 0 {
+			dl = time.Duration(w.ewmaNS * wdEwmaFactor)
+		}
+		if dl < wdMinDeadline {
+			dl = wdMinDeadline
+		}
+	}
+	w.stepNo.Store(int64(step))
+	w.deadlineNS.Store(int64(dl))
+	w.startNS.Store(w.e.wdNowNS())
+	w.tripped.Store(false)
+	w.armed.Store(true)
+}
+
+// endStep disarms the watchdog, folds the measured superstep duration
+// into the EWMA (a tripped superstep inflates it, so genuinely slow
+// workloads converge to a deadline they fit), and reports whether the
+// poller tripped during the superstep. Barrier goroutine only.
+//
+//gm:noalloc
+func (w *watchdog) endStep() bool {
+	w.armed.Store(false)
+	dur := float64(w.e.wdNowNS() - w.startNS.Load())
+	if w.ewmaNS == 0 {
+		w.ewmaNS = dur
+	} else {
+		w.ewmaNS = wdEwmaAlpha*dur + (1-wdEwmaAlpha)*w.ewmaNS
+	}
+	return w.tripped.Load()
+}
+
+// diagnosis returns the trip diagnosis captured by the poller and the
+// suspected worker.
+func (w *watchdog) diagnosis() (string, int) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.diag, int(w.suspect.Load())
+}
+
+// run is the poller goroutine: sleep an adaptive fraction of the current
+// deadline, check for overrun, capture at most one diagnosis per armed
+// superstep. Steady state allocates nothing (one reused timer), so an
+// enabled watchdog does not perturb the engine's zero-allocation
+// contract; allocation happens only while capturing a trip.
+func (w *watchdog) run() {
+	defer close(w.exited)
+	t := time.NewTimer(wdMaxPoll)
+	defer t.Stop()
+	for {
+		poll := time.Duration(w.deadlineNS.Load()) / 8
+		if poll < wdMinPoll {
+			poll = wdMinPoll
+		}
+		if poll > wdMaxPoll {
+			poll = wdMaxPoll
+		}
+		t.Reset(poll)
+		select {
+		case <-w.stopc:
+			return
+		case <-t.C:
+		}
+		if !w.armed.Load() {
+			continue
+		}
+		now := w.e.wdNowNS()
+		if now-w.startNS.Load() <= w.deadlineNS.Load() {
+			continue
+		}
+		if !w.tripped.CompareAndSwap(false, true) {
+			continue
+		}
+		w.capture(now)
+	}
+}
+
+// capture builds the stall diagnosis from race-safe sources: per-worker
+// chunk-queue cursors, published inbox depths, and per-executor phase
+// markers. Runs on the poller goroutine; the barrier goroutine reads the
+// result under mu after the phase completes.
+func (w *watchdog) capture(now int64) {
+	e := w.e
+	var b strings.Builder
+	fmt.Fprintf(&b, "superstep %d exceeded its %v deadline (%.1fms elapsed)",
+		w.stepNo.Load(), time.Duration(w.deadlineNS.Load()), float64(now-w.startNS.Load())/1e6)
+	suspect := -1
+	for _, x := range e.executors {
+		if ph := x.curPhase.Load(); ph >= 0 {
+			fmt.Fprintf(&b, "; executor %d in %v phase", x.id, phaseKind(ph))
+			if suspect < 0 {
+				suspect = x.id
+			}
+		}
+	}
+	for _, wk := range e.workers {
+		claimed := int(wk.cursor.Load())
+		if claimed > len(wk.chunks) {
+			claimed = len(wk.chunks)
+		}
+		fmt.Fprintf(&b, "; worker %d chunks %d/%d inbox %d",
+			wk.index, claimed, len(wk.chunks), wk.inDepth.Load())
+		if suspect < 0 && claimed < len(wk.chunks) {
+			suspect = wk.index
+		}
+	}
+	if suspect < 0 {
+		suspect = 0
+	}
+	w.suspect.Store(int32(suspect))
+	w.mu.Lock()
+	w.diag = b.String()
+	w.mu.Unlock()
+}
+
+// armStall consumes the first unfired stall planned for step and arms
+// the target worker to sleep at the start of its first chunk.
+func (e *engine) armStall(step int) {
+	for i := range e.stalls {
+		s := &e.stalls[i]
+		if s.fired || s.Superstep != step {
+			continue
+		}
+		s.fired = true
+		wk := e.workers[s.Worker%e.numWorkers]
+		wk.stallNS = int64(s.Duration)
+		return
+	}
+}
