@@ -1,0 +1,29 @@
+package core
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+
+	"gmpregel/internal/machine"
+)
+
+// ProgramHash returns a stable content hash of a compiled program,
+// suitable as a cache key component: two compilations of the same
+// source (in the same compiler version, with the same Options) hash
+// identically, and distinct programs hash distinctly. The hash covers
+// the executable program only — scalars, properties, aggregators,
+// message schemas, and the state-machine CFG — via the canonical
+// machine.EncodeProgram serialization, which contains no maps or other
+// order-unstable constructs. Source comments and formatting do not
+// perturb it; any semantic change to the emitted program does.
+func ProgramHash(p *machine.Program) (string, error) {
+	data, err := machine.EncodeProgram(p)
+	if err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256(data)
+	return "gmp1:" + hex.EncodeToString(sum[:16]), nil
+}
+
+// Hash is ProgramHash over the compilation's program.
+func (c *Compiled) Hash() (string, error) { return ProgramHash(c.Program) }

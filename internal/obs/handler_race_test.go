@@ -1,0 +1,102 @@
+package obs_test
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"gmpregel/internal/graph/gen"
+	"gmpregel/internal/manual"
+	"gmpregel/internal/obs"
+	"gmpregel/internal/pregel"
+)
+
+// TestHandlerConcurrentWithEngineRun hammers every read endpoint while
+// an instrumented engine run is emitting spans into the same Registry
+// and Live observer. Under the CI -race pass this pins down the
+// contract documented on obs.Handler: scraping is safe mid-run.
+func TestHandlerConcurrentWithEngineRun(t *testing.T) {
+	reg := obs.NewRegistry()
+	live := obs.NewLive()
+	srv := httptest.NewServer(obs.Handler(reg, live))
+	defer srv.Close()
+
+	g := gen.Random(512, 2048, 7)
+	runOnce := func() {
+		job := &manual.PageRank{Eps: 0, D: 0.85, MaxIter: 10, PR: make([]float64, g.NumNodes())}
+		_, err := pregel.Run(g, job, pregel.Config{
+			NumWorkers: 4,
+			Seed:       1,
+			Observer:   obs.Multi(live, obs.NewMetricsObserver(reg)),
+		})
+		if err != nil {
+			t.Errorf("engine run: %v", err)
+		}
+	}
+
+	const scrapers = 8
+	const scrapesEach = 12
+	paths := []string{"/metrics", "/metrics.json", "/run", "/healthz"}
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+
+	// Engine side: back-to-back instrumented runs until the scrapers
+	// are done, so every scrape races against live span traffic.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				runOnce()
+			}
+		}
+	}()
+
+	var scrape sync.WaitGroup
+	for i := 0; i < scrapers; i++ {
+		scrape.Add(1)
+		go func(i int) {
+			defer scrape.Done()
+			for n := 0; n < scrapesEach; n++ {
+				path := paths[(i+n)%len(paths)]
+				resp, err := http.Get(srv.URL + path)
+				if err != nil {
+					t.Errorf("GET %s: %v", path, err)
+					return
+				}
+				body, err := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if err != nil {
+					t.Errorf("GET %s: reading body: %v", path, err)
+					return
+				}
+				if resp.StatusCode != http.StatusOK {
+					t.Errorf("GET %s: HTTP %d: %s", path, resp.StatusCode, body)
+					return
+				}
+			}
+		}(i)
+	}
+	scrape.Wait()
+	close(stop)
+	wg.Wait()
+
+	// After the dust settles the scrape surface reflects the runs.
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prom, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, want := range []string{"pregel_messages_total", "pregel_phase_seconds"} {
+		if !strings.Contains(string(prom), want) {
+			t.Errorf("/metrics missing %s after instrumented runs", want)
+		}
+	}
+}

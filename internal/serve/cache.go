@@ -1,0 +1,136 @@
+package serve
+
+import (
+	"container/list"
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// cacheKey builds the result-cache identity: graph snapshot version,
+// compiled-program content hash, and canonicalized params. Any of the
+// three changing (a hot-swap, a source edit that survives compilation,
+// a different parameter) misses; formatting-only source edits and JSON
+// key order do not.
+func cacheKey(snapshotID, programHash string, params map[string]any) string {
+	return snapshotID + "|" + programHash + "|" + canonicalParams(params)
+}
+
+// canonicalParams renders params deterministically: keys sorted,
+// values in their JSON form.
+func canonicalParams(params map[string]any) string {
+	if len(params) == 0 {
+		return "{}"
+	}
+	keys := make([]string, 0, len(params))
+	for k := range params {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		v, err := json.Marshal(params[k])
+		if err != nil {
+			v = []byte(fmt.Sprintf("%q", fmt.Sprint(params[k])))
+		}
+		fmt.Fprintf(&b, "%q:%s", k, v)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// resultCache is an LRU byte-budgeted cache of completed job results
+// (their serialized JobResult payloads). A repeated query is served in
+// O(lookup) without touching the engine or the admission queue.
+type resultCache struct {
+	mu        sync.Mutex
+	budget    int64
+	used      int64
+	order     *list.List // front = most recently used
+	byKey     map[string]*list.Element
+	hits      int64
+	misses    int64
+	evictions int64
+}
+
+type cacheEntry struct {
+	key     string
+	payload []byte
+}
+
+func newResultCache(budget int64) *resultCache {
+	return &resultCache{budget: budget, order: list.New(), byKey: map[string]*list.Element{}}
+}
+
+// get returns the cached payload and bumps its recency.
+func (c *resultCache) get(key string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.byKey[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	c.hits++
+	return el.Value.(*cacheEntry).payload, true
+}
+
+// put stores payload under key, evicting least-recently-used entries
+// until the byte budget holds, and reports how many entries were
+// evicted. Payloads larger than the whole budget are not cached.
+func (c *resultCache) put(key string, payload []byte) (evicted int64) {
+	size := int64(len(key) + len(payload))
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if size > c.budget {
+		return 0
+	}
+	if el, ok := c.byKey[key]; ok {
+		old := el.Value.(*cacheEntry)
+		c.used += int64(len(payload)) - int64(len(old.payload))
+		old.payload = payload
+		c.order.MoveToFront(el)
+	} else {
+		c.byKey[key] = c.order.PushFront(&cacheEntry{key: key, payload: payload})
+		c.used += size
+	}
+	for c.used > c.budget {
+		back := c.order.Back()
+		if back == nil {
+			break
+		}
+		e := back.Value.(*cacheEntry)
+		c.order.Remove(back)
+		delete(c.byKey, e.key)
+		c.used -= int64(len(e.key) + len(e.payload))
+		c.evictions++
+		evicted++
+	}
+	return evicted
+}
+
+// CacheInfo is the introspection view of the result cache.
+type CacheInfo struct {
+	Entries   int   `json:"entries"`
+	UsedBytes int64 `json:"used_bytes"`
+	Budget    int64 `json:"budget_bytes"`
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Evictions int64 `json:"evictions"`
+}
+
+func (c *resultCache) info() CacheInfo {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheInfo{
+		Entries: len(c.byKey), UsedBytes: c.used, Budget: c.budget,
+		Hits: c.hits, Misses: c.misses, Evictions: c.evictions,
+	}
+}

@@ -1,0 +1,85 @@
+package serve
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestCanonicalParamsKeyOrder: the cache key must not depend on Go map
+// iteration order or on the order keys appeared in the request JSON.
+func TestCanonicalParamsKeyOrder(t *testing.T) {
+	a := map[string]any{"e": 0.001, "max_iter": 10.0, "d": 0.85}
+	b := map[string]any{"d": 0.85, "e": 0.001, "max_iter": 10.0}
+	if canonicalParams(a) != canonicalParams(b) {
+		t.Fatalf("key order changed the canonical form: %q vs %q",
+			canonicalParams(a), canonicalParams(b))
+	}
+	if got, want := canonicalParams(nil), "{}"; got != want {
+		t.Errorf("nil params: got %q, want %q", got, want)
+	}
+	if canonicalParams(a) == canonicalParams(map[string]any{"e": 0.002, "max_iter": 10.0, "d": 0.85}) {
+		t.Error("different values collided")
+	}
+}
+
+func TestCacheKeyComponents(t *testing.T) {
+	base := cacheKey("g@v1", "gmp1:aa", map[string]any{"x": 1.0})
+	for name, other := range map[string]string{
+		"snapshot": cacheKey("g@v2", "gmp1:aa", map[string]any{"x": 1.0}),
+		"program":  cacheKey("g@v1", "gmp1:bb", map[string]any{"x": 1.0}),
+		"params":   cacheKey("g@v1", "gmp1:aa", map[string]any{"x": 2.0}),
+	} {
+		if other == base {
+			t.Errorf("changing the %s component did not change the key", name)
+		}
+	}
+}
+
+// TestCacheLRUEviction: the byte budget evicts in least-recently-used
+// order, and get() refreshes recency.
+func TestCacheLRUEviction(t *testing.T) {
+	// Each entry costs len(key)+len(payload) = 2+30 = 32 bytes; budget
+	// holds exactly 4.
+	c := newResultCache(128)
+	pay := func(i int) []byte { return []byte(fmt.Sprintf("%030d", i)) }
+	for i := 0; i < 4; i++ {
+		if ev := c.put(fmt.Sprintf("k%d", i), pay(i)); ev != 0 {
+			t.Fatalf("put %d evicted %d entries under budget", i, ev)
+		}
+	}
+	// Touch k0 so k1 becomes the LRU victim.
+	if _, ok := c.get("k0"); !ok {
+		t.Fatal("k0 should be resident")
+	}
+	if ev := c.put("k4", pay(4)); ev != 1 {
+		t.Fatalf("put over budget should evict exactly 1, got %d", ev)
+	}
+	if _, ok := c.get("k1"); ok {
+		t.Error("k1 should have been the LRU victim")
+	}
+	if _, ok := c.get("k0"); !ok {
+		t.Error("recently-touched k0 was evicted")
+	}
+	info := c.info()
+	if info.Entries != 4 || info.UsedBytes != 128 || info.Evictions != 1 {
+		t.Errorf("unexpected cache info: %+v", info)
+	}
+}
+
+// TestCacheOversizedAndReplace: payloads larger than the whole budget
+// are skipped; re-putting a key updates bytes in place.
+func TestCacheOversizedAndReplace(t *testing.T) {
+	c := newResultCache(64)
+	if ev := c.put("big", make([]byte, 65)); ev != 0 {
+		t.Fatalf("oversized put evicted %d", ev)
+	}
+	if c.info().Entries != 0 {
+		t.Fatal("oversized payload was cached")
+	}
+	c.put("k", make([]byte, 10))
+	c.put("k", make([]byte, 20))
+	info := c.info()
+	if info.Entries != 1 || info.UsedBytes != int64(len("k")+20) {
+		t.Errorf("replace did not update bytes in place: %+v", info)
+	}
+}

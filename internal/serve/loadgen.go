@@ -1,0 +1,376 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"gmpregel/internal/algorithms"
+)
+
+// LoadOptions shapes one deterministic load-test run against a live
+// gmserve endpoint (RunLoad is what `gmserve -loadtest` drives).
+type LoadOptions struct {
+	BaseURL string
+	Seed    int64
+	// Graph setup: the loadgen loads its own snapshot so a run is
+	// self-contained against a fresh server.
+	GraphName string // default "bench"
+	Builder   string // default "twitter"
+	Scale     int    // default 1
+	// Clients is the number of concurrent client goroutines in the
+	// storm phase (default 32); RequestsPerClient their sequential
+	// request count (default 4).
+	Clients           int
+	RequestsPerClient int
+}
+
+// TenantLoad is one tenant's slice of the report.
+type TenantLoad struct {
+	Tenant    string `json:"tenant"`
+	Requests  int    `json:"requests"`
+	OK        int    `json:"ok"`
+	Rejected  int    `json:"rejected_429"`
+	CacheHits int    `json:"cache_hits"`
+}
+
+// LoadReport is the machine-readable outcome (BENCH_PR8.json).
+type LoadReport struct {
+	Seed              int64  `json:"seed"`
+	Graph             string `json:"graph"`
+	Builder           string `json:"builder"`
+	Scale             int    `json:"scale"`
+	Clients           int    `json:"clients"`
+	RequestsPerClient int    `json:"requests_per_client"`
+
+	WarmRequests int `json:"warm_requests"`
+	Requests     int `json:"requests"` // storm phase
+	OK           int `json:"ok"`
+	Failed       int `json:"failed"`
+	Rejected429  int `json:"rejected_429"`
+	CacheHits    int `json:"cache_hits"`
+	CompileJobs  int `json:"compile_jobs"` // submissions carrying raw Green-Marl source
+
+	WallNS        int64   `json:"wall_ns"`
+	ThroughputRPS float64 `json:"throughput_rps"`
+	LatencyP50NS  int64   `json:"latency_p50_ns"`
+	LatencyP95NS  int64   `json:"latency_p95_ns"`
+	LatencyP99NS  int64   `json:"latency_p99_ns"`
+
+	PerTenant []TenantLoad `json:"per_tenant"`
+
+	// Probe outcomes: the phases that make the CI gate deterministic
+	// rather than load-dependent.
+	ProbeCacheHit bool `json:"probe_cache_hit"`
+	ProbeRejected bool `json:"probe_rejected_429"`
+}
+
+// loadQuery is one entry of the workload mix.
+type loadQuery struct {
+	algorithm string
+	source    string
+	params    map[string]any
+	nocache   bool
+	weight    int
+}
+
+// loadMix is the seeded heterogeneous workload: cheap cached built-ins
+// dominate (the serving sweet spot), with a compile-from-source job
+// and uncached engine-heavy variants mixed in — the workload-mix shape
+// of the distributed-graph-systems measurement literature.
+func loadMix() []loadQuery {
+	return []loadQuery{
+		{algorithm: "pagerank", params: map[string]any{"e": 1e-4, "d": 0.85, "max_iter": 5}, weight: 4},
+		{algorithm: "sssp", params: map[string]any{}, weight: 3},
+		{algorithm: "avgteen", params: map[string]any{"K": 40}, weight: 3},
+		{algorithm: "conductance", params: map[string]any{"num": 1}, weight: 2},
+		{source: algorithms.DegreeStats, params: map[string]any{}, weight: 2},
+		{algorithm: "pagerank", params: map[string]any{"e": 1e-4, "d": 0.85, "max_iter": 3}, nocache: true, weight: 2},
+	}
+}
+
+// pickQuery draws from the mix by weight.
+func pickQuery(mix []loadQuery, rng *rand.Rand) loadQuery {
+	total := 0
+	for _, q := range mix {
+		total += q.weight
+	}
+	n := rng.Intn(total)
+	for _, q := range mix {
+		n -= q.weight
+		if n < 0 {
+			return q
+		}
+	}
+	return mix[len(mix)-1]
+}
+
+// loadClient wraps the HTTP plumbing.
+type loadClient struct {
+	base string
+	hc   *http.Client
+}
+
+func (c *loadClient) postJSON(path string, body any) (int, http.Header, []byte, error) {
+	data, err := json.Marshal(body)
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	resp, err := c.hc.Post(c.base+path, "application/json", bytes.NewReader(data))
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	defer resp.Body.Close()
+	payload, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	return resp.StatusCode, resp.Header, payload, nil
+}
+
+// RunLoad drives the full load test: setup, cache warm-up, a
+// mixed-tenant concurrent storm, and two deterministic probes (a
+// guaranteed cache hit and a guaranteed 429). The returned report is
+// what gmserve -loadtest writes as BENCH_PR8.json.
+func RunLoad(opts LoadOptions) (*LoadReport, error) {
+	if opts.GraphName == "" {
+		opts.GraphName = "bench"
+	}
+	if opts.Builder == "" {
+		opts.Builder = "twitter"
+	}
+	if opts.Scale <= 0 {
+		opts.Scale = 1
+	}
+	if opts.Clients <= 0 {
+		opts.Clients = 32
+	}
+	if opts.RequestsPerClient <= 0 {
+		opts.RequestsPerClient = 4
+	}
+	c := &loadClient{
+		base: opts.BaseURL,
+		hc: &http.Client{
+			Timeout: 5 * time.Minute,
+			Transport: &http.Transport{
+				MaxIdleConns:        opts.Clients + 8,
+				MaxIdleConnsPerHost: opts.Clients + 8,
+			},
+		},
+	}
+	rep := &LoadReport{
+		Seed: opts.Seed, Graph: opts.GraphName, Builder: opts.Builder, Scale: opts.Scale,
+		Clients: opts.Clients, RequestsPerClient: opts.RequestsPerClient,
+	}
+
+	// Phase 0: graph + tenant quotas. alpha gets 4× beta's weight;
+	// "limited" exists to be saturated by the 429 probe.
+	if code, _, body, err := c.postJSON("/graphs", GraphSpec{
+		Name: opts.GraphName, Builder: opts.Builder, Scale: opts.Scale, InputsSeed: opts.Seed + 7,
+	}); err != nil {
+		return nil, fmt.Errorf("loadgen: load graph: %w", err)
+	} else if code != http.StatusOK {
+		return nil, fmt.Errorf("loadgen: load graph: HTTP %d: %s", code, body)
+	}
+	quotas := []struct {
+		name string
+		q    Quota
+	}{
+		{"alpha", Quota{MaxConcurrent: 4, MaxQueued: 1024, Weight: 4}},
+		{"beta", Quota{MaxConcurrent: 2, MaxQueued: 1024, Weight: 1}},
+		{"limited", Quota{MaxConcurrent: 1, MaxQueued: -1, Weight: 1}},
+	}
+	for _, tq := range quotas {
+		if code, _, body, err := c.postJSON("/tenants", map[string]any{"name": tq.name, "quota": tq.q}); err != nil {
+			return nil, fmt.Errorf("loadgen: set quota: %w", err)
+		} else if code != http.StatusOK {
+			return nil, fmt.Errorf("loadgen: set quota: HTTP %d: %s", code, body)
+		}
+	}
+
+	mix := loadMix()
+
+	// Phase 1: warm the cache — every cacheable query once,
+	// synchronously, so the storm observes hits.
+	for _, q := range mix {
+		if q.nocache {
+			continue
+		}
+		req := JobRequest{Tenant: "alpha", Graph: opts.GraphName, Algorithm: q.algorithm,
+			Source: q.source, Params: q.params, Wait: true}
+		code, _, body, err := c.postJSON("/jobs", req)
+		if err != nil {
+			return nil, fmt.Errorf("loadgen: warm-up: %w", err)
+		}
+		if code != http.StatusOK {
+			return nil, fmt.Errorf("loadgen: warm-up %s: HTTP %d: %s", q.algorithm, code, body)
+		}
+		rep.WarmRequests++
+	}
+
+	// Phase 2: the storm. Clients run concurrently; each issues its
+	// seeded sequence of synchronous requests as one of the two
+	// storm tenants.
+	type sample struct {
+		tenant  string
+		latency time.Duration
+		status  int
+		hit     bool
+		compile bool
+	}
+	samples := make([][]sample, opts.Clients)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := 0; i < opts.Clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(opts.Seed + 1000 + int64(i)))
+			tenant := "alpha"
+			if i%2 == 1 {
+				tenant = "beta"
+			}
+			for r := 0; r < opts.RequestsPerClient; r++ {
+				q := pickQuery(mix, rng)
+				req := JobRequest{Tenant: tenant, Graph: opts.GraphName, Algorithm: q.algorithm,
+					Source: q.source, Params: q.params, NoCache: q.nocache, Wait: true}
+				t0 := time.Now()
+				code, hdr, _, err := c.postJSON("/jobs", req)
+				if err != nil {
+					samples[i] = append(samples[i], sample{tenant: tenant, status: 599})
+					continue
+				}
+				samples[i] = append(samples[i], sample{
+					tenant: tenant, latency: time.Since(t0), status: code,
+					hit: hdr.Get("X-Cache") == "hit", compile: q.source != "",
+				})
+			}
+		}(i)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	byTenant := map[string]*TenantLoad{}
+	tl := func(name string) *TenantLoad {
+		t, ok := byTenant[name]
+		if !ok {
+			t = &TenantLoad{Tenant: name}
+			byTenant[name] = t
+		}
+		return t
+	}
+	var latencies []int64
+	for _, cs := range samples {
+		for _, sm := range cs {
+			rep.Requests++
+			t := tl(sm.tenant)
+			t.Requests++
+			if sm.compile {
+				rep.CompileJobs++
+			}
+			switch {
+			case sm.status == http.StatusOK:
+				rep.OK++
+				t.OK++
+				latencies = append(latencies, sm.latency.Nanoseconds())
+				if sm.hit {
+					rep.CacheHits++
+					t.CacheHits++
+				}
+			case sm.status == http.StatusTooManyRequests:
+				rep.Rejected429++
+				t.Rejected++
+			default:
+				rep.Failed++
+			}
+		}
+	}
+	rep.WallNS = wall.Nanoseconds()
+	if wall > 0 {
+		rep.ThroughputRPS = float64(rep.OK) / wall.Seconds()
+	}
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	rep.LatencyP50NS = percentile(latencies, 0.50)
+	rep.LatencyP95NS = percentile(latencies, 0.95)
+	rep.LatencyP99NS = percentile(latencies, 0.99)
+
+	// Phase 3a: guaranteed cache hit — the same query twice, back to
+	// back, from one thread.
+	probe := JobRequest{Tenant: "alpha", Graph: opts.GraphName, Algorithm: "pagerank",
+		Params: map[string]any{"e": 1e-4, "d": 0.85, "max_iter": 4}, Wait: true}
+	if code, _, _, err := c.postJSON("/jobs", probe); err == nil && code == http.StatusOK {
+		if code2, hdr2, _, err2 := c.postJSON("/jobs", probe); err2 == nil &&
+			code2 == http.StatusOK && hdr2.Get("X-Cache") == "hit" {
+			rep.ProbeCacheHit = true
+		}
+	}
+
+	// Phase 3b: guaranteed 429 — tenant "limited" runs at most one job
+	// and queues none, so an async long job followed by a second
+	// submission must reject while the first still runs. The probe gets
+	// its own asymmetric graph (PageRank with e=0 never converges early
+	// there — on symmetric shapes like the ring it finishes in one
+	// superstep), and its iteration budget doubles per attempt so it
+	// eventually outlives the follow-up request's round-trip.
+	if code, _, body, err := c.postJSON("/graphs", GraphSpec{
+		Name: "probe429", Builder: "random", Scale: 1, InputsSeed: opts.Seed + 7,
+	}); err != nil {
+		return rep, fmt.Errorf("loadgen: probe graph: %w", err)
+	} else if code != http.StatusOK {
+		return rep, fmt.Errorf("loadgen: probe graph: HTTP %d: %s", code, body)
+	}
+	for attempt := 0; attempt < 20 && !rep.ProbeRejected; attempt++ {
+		maxIter := 40 << attempt
+		if maxIter > 1<<20 {
+			maxIter = 1 << 20
+		}
+		long := JobRequest{Tenant: "limited", Graph: "probe429", Algorithm: "pagerank",
+			Params: map[string]any{"e": 0.0, "d": 0.85, "max_iter": maxIter}, NoCache: true}
+		code, _, body, err := c.postJSON("/jobs", long)
+		if err != nil {
+			return rep, fmt.Errorf("loadgen: 429 probe: %w", err)
+		}
+		if code == http.StatusTooManyRequests {
+			rep.ProbeRejected = true // a prior attempt's job still holds the slot
+			break
+		}
+		if code != http.StatusAccepted {
+			return rep, fmt.Errorf("loadgen: 429 probe submit: HTTP %d: %s", code, body)
+		}
+		code2, hdr2, _, err := c.postJSON("/jobs", long)
+		if err != nil {
+			return rep, fmt.Errorf("loadgen: 429 probe: %w", err)
+		}
+		if code2 == http.StatusTooManyRequests {
+			if ra := hdr2.Get("Retry-After"); ra == "" {
+				return rep, fmt.Errorf("loadgen: 429 without Retry-After")
+			}
+			rep.ProbeRejected = true
+		}
+	}
+
+	for _, name := range []string{"alpha", "beta", "limited"} {
+		if t, ok := byTenant[name]; ok {
+			rep.PerTenant = append(rep.PerTenant, *t)
+		}
+	}
+	return rep, nil
+}
+
+// percentile reads the q-quantile from ascending s (nearest-rank).
+func percentile(s []int64, q float64) int64 {
+	if len(s) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(s)))
+	if i >= len(s) {
+		i = len(s) - 1
+	}
+	return s[i]
+}

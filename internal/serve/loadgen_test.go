@@ -1,0 +1,98 @@
+package serve
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// TestLoadStorm256Concurrent is the acceptance gate for the serving
+// layer: 256 concurrent mixed-tenant clients against one resident
+// graph, with zero failed requests, both deterministic probes landing,
+// and per-tenant quota enforcement observable on /metrics. The whole
+// test runs under the CI -race pass.
+func TestLoadStorm256Concurrent(t *testing.T) {
+	if testing.Short() {
+		t.Skip("storm test skipped in -short mode")
+	}
+	s := New(Options{Workers: 2, Seed: testSeed, Capacity: 8})
+	t.Cleanup(s.Close)
+	hs := httptest.NewServer(s.Handler())
+	t.Cleanup(hs.Close)
+
+	// The ring graph keeps per-request engine work trivial so the test
+	// exercises the serving layer, not the kernels.
+	rep, err := RunLoad(LoadOptions{
+		BaseURL: hs.URL,
+		Seed:    testSeed,
+		Builder: "ring",
+		Scale:   1,
+		Clients: 256, RequestsPerClient: 1,
+	})
+	if err != nil {
+		t.Fatalf("RunLoad: %v", err)
+	}
+
+	if rep.Requests < 256 {
+		t.Errorf("storm issued %d requests, want >= 256", rep.Requests)
+	}
+	if rep.Failed > 0 {
+		t.Errorf("%d storm requests failed outright", rep.Failed)
+	}
+	if rep.OK+rep.Rejected429 != rep.Requests {
+		t.Errorf("request accounting off: ok %d + 429 %d != %d", rep.OK, rep.Rejected429, rep.Requests)
+	}
+	if rep.CacheHits == 0 {
+		t.Error("warm cache observed no hits during the storm")
+	}
+	if rep.CompileJobs == 0 {
+		t.Error("mix should include compile-from-source jobs")
+	}
+	if !rep.ProbeCacheHit {
+		t.Error("deterministic cache-hit probe failed")
+	}
+	if !rep.ProbeRejected {
+		t.Error("deterministic 429 probe failed")
+	}
+	if rep.LatencyP50NS <= 0 || rep.LatencyP95NS < rep.LatencyP50NS || rep.LatencyP99NS < rep.LatencyP95NS {
+		t.Errorf("latency percentiles malformed: p50=%d p95=%d p99=%d",
+			rep.LatencyP50NS, rep.LatencyP95NS, rep.LatencyP99NS)
+	}
+	if rep.ThroughputRPS <= 0 {
+		t.Errorf("throughput %.2f req/s, want > 0", rep.ThroughputRPS)
+	}
+	var seen []string
+	for _, tl := range rep.PerTenant {
+		seen = append(seen, tl.Tenant)
+	}
+	if got := strings.Join(seen, ","); !strings.Contains(got, "alpha") || !strings.Contains(got, "beta") {
+		t.Errorf("storm tenants missing from per-tenant report: %v", seen)
+	}
+
+	// Quota enforcement must be observable in the metrics registry, per
+	// tenant: admits for the storm tenants, the reject for the probe
+	// tenant, and cache traffic.
+	resp, err := http.Get(hs.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics := string(body)
+	for _, want := range []string{
+		`serve_admission_total{decision="admit",tenant="alpha"}`,
+		`serve_admission_total{decision="admit",tenant="beta"}`,
+		`serve_admission_total{decision="reject",tenant="limited"}`,
+		"serve_cache_hits_total",
+		"serve_cache_misses_total",
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("/metrics missing %s", want)
+		}
+	}
+}
