@@ -8,7 +8,10 @@
 //	gmbench -ablation      optimization / combiner ablation table
 //	gmbench -activity      SSSP per-superstep active-vertex profile (§5.2)
 //	gmbench -recovery      checkpoint-overhead / crash-recovery table
-//	gmbench -scaling       worker-count scaling sweep (Figure-7-style)
+//	gmbench -scaling       worker-count scaling sweep (Figure-7-style):
+//	                       interleaved eager/barrier routing A/B on the
+//	                       Figure-6 graphs with a COST column; sized by
+//	                       -scaling-scale and -scaling-workers (not -scale)
 //	gmbench -schedab       scheduling A/B: static vs chunked vs stealing
 //	gmbench -chaos         seeded chaos campaign: fault/stall/budget
 //	                       schedules with a bit-identity survival report
@@ -84,6 +87,9 @@ func main() {
 		chunk = flag.Int("chunk", 0, "scheduler chunk size (0 = automatic)")
 		sched = flag.String("sched", "steal", "work stealing: steal or nosteal")
 		part  = flag.String("part", "mod", "partitioner: mod or degree")
+
+		scalingScale   = flag.Int("scaling-scale", 8, "scaling: generator scale for the sweep (independent of -scale; large enough that parallelism pays)")
+		scalingWorkers = flag.Int("scaling-workers", 8, "scaling: maximum worker count swept (1, 2, 4, ... up to this)")
 
 		ckptEvery   = flag.Int("ckpt-every", 0, "recovery: checkpoint interval (0 sweeps 1,2,4,8)")
 		crashStep   = flag.Int("crash-step", 0, "recovery: superstep of the injected crash (0 = auto mid-run)")
@@ -161,7 +167,7 @@ func main() {
 			return
 		}},
 		{"scaling", func() bool { return *scaling }, func(w io.Writer, rep *bench.Report) (err error) {
-			rep.Scaling, err = bench.ScalingSweep(w, *scale, *workers, *trials, *seed)
+			rep.Scaling, err = bench.ScalingSweep(w, *scalingScale, *scalingWorkers, *trials, *seed)
 			return
 		}},
 		{"schedab", func() bool { return *schedab }, func(w io.Writer, rep *bench.Report) (err error) {

@@ -30,7 +30,7 @@ type Report struct {
 	Ablation []AblationRow    `json:"ablation,omitempty"`
 	Activity *ActivityProfile `json:"activity,omitempty"`
 	Recovery []RecoveryRow    `json:"recovery,omitempty"`
-	Scaling  []ScalingRow     `json:"scaling,omitempty"`
+	Scaling  *ScalingReport   `json:"scaling,omitempty"`
 	SchedAB  []SchedABRow     `json:"schedab,omitempty"`
 	Skew     *obs.SkewReport  `json:"skew,omitempty"`
 	Chaos    *chaos.Report    `json:"chaos,omitempty"`

@@ -30,6 +30,19 @@ type PhaseSkew struct {
 	// stealing). Zero — and omitted from JSON — for every other phase.
 	StolenSpans int   `json:"stolen_spans,omitempty"`
 	StolenNS    int64 `json:"stolen_ns,omitempty"`
+	// OwnerSkew/OwnerMaxWorker re-derive the chunk row with spans
+	// attributed to the OWNING worker instead of the executor that ran
+	// them. With stealing on, executor attribution measures pool
+	// utilization but wildly inflates the headline Skew (a thief
+	// executor is billed for every chunk it rescued); the owner-
+	// normalized column answers the orthogonal question "how uneven was
+	// the work the partitions generated", independent of who ran it.
+	// Unlike Skew it is max/mean (the classic load-imbalance factor λ),
+	// not max/median, so it stays informative at two workers where the
+	// upper-median convention pins max/median to 1.
+	// Zero — and omitted from JSON — for every phase but chunk.
+	OwnerSkew      float64 `json:"owner_skew,omitempty"`
+	OwnerMaxWorker int     `json:"owner_max_worker,omitempty"`
 }
 
 // SkewReport summarizes per-phase load imbalance derived from a trace:
@@ -62,6 +75,7 @@ func Skew(spans []Span) *SkewReport {
 	counts := map[Phase]int{}
 	stolenSpans := map[Phase]int{}
 	stolenNS := map[Phase]int64{}
+	ownerTotals := map[int]int64{} // chunk time by owning worker
 	for _, s := range spans {
 		if s.Phase == PhaseRun {
 			continue
@@ -70,12 +84,14 @@ func Skew(spans []Span) *SkewReport {
 		if s.Phase == PhaseChunk {
 			// Chunk spans are attributed to the executor that ran them,
 			// not the worker that owns them: the row then answers "did the
-			// pool stay busy", the question stealing exists to fix.
+			// pool stay busy", the question stealing exists to fix. The
+			// owner-normalized totals feed the OwnerSkew column alongside.
 			scope = s.Executor
 			if s.Stolen {
 				stolenSpans[s.Phase]++
 				stolenNS[s.Phase] += s.DurNS
 			}
+			ownerTotals[s.Worker] += s.DurNS
 		}
 		totals[key{s.Phase, scope}] += s.DurNS
 		counts[s.Phase]++
@@ -109,6 +125,22 @@ func Skew(spans []Span) *SkewReport {
 		}
 		if row.MedianNS > 0 {
 			row.Skew = float64(row.MaxNS) / float64(row.MedianNS)
+		}
+		if p == PhaseChunk && len(ownerTotals) > 0 {
+			var odurs []int64
+			var oscopes []int
+			var osum int64
+			for w, d := range ownerTotals {
+				odurs = append(odurs, d)
+				oscopes = append(oscopes, w)
+				osum += d
+			}
+			sort.Sort(&byDur{odurs, oscopes})
+			row.OwnerMaxWorker = oscopes[len(odurs)-1]
+			if osum > 0 {
+				mean := float64(osum) / float64(len(odurs))
+				row.OwnerSkew = float64(odurs[len(odurs)-1]) / mean
+			}
 		}
 		rep.Phases = append(rep.Phases, row)
 	}
@@ -145,15 +177,19 @@ func (r *SkewReport) Row(phase string) (PhaseSkew, bool) {
 // String renders the report as an aligned table.
 func (r *SkewReport) String() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "%-15s %7s %8s %12s %12s %12s %6s %8s\n",
-		"phase", "spans", "workers", "total", "max", "median", "skew", "stolen")
+	fmt.Fprintf(&b, "%-15s %7s %8s %12s %12s %12s %6s %10s %8s\n",
+		"phase", "spans", "workers", "total", "max", "median", "skew", "owner-skew", "stolen")
 	for _, p := range r.Phases {
-		fmt.Fprintf(&b, "%-15s %7d %8d %12s %12s %12s %6.2f %8d\n",
+		owner := "-"
+		if p.OwnerSkew > 0 {
+			owner = fmt.Sprintf("%.2f", p.OwnerSkew)
+		}
+		fmt.Fprintf(&b, "%-15s %7d %8d %12s %12s %12s %6.2f %10s %8d\n",
 			p.Phase, p.Spans, p.Workers,
 			time.Duration(p.TotalNS).Round(time.Microsecond),
 			time.Duration(p.MaxNS).Round(time.Microsecond),
 			time.Duration(p.MedianNS).Round(time.Microsecond),
-			p.Skew, p.StolenSpans)
+			p.Skew, owner, p.StolenSpans)
 	}
 	return b.String()
 }

@@ -136,8 +136,17 @@ func TestSkewReportChunkExecutorGrouping(t *testing.T) {
 	if row.StolenSpans != 1 || row.StolenNS != 30 {
 		t.Errorf("stolen = %d spans / %dns, want 1 / 30", row.StolenSpans, row.StolenNS)
 	}
+	// Owner attribution bills the stolen chunk back to worker 0: owner
+	// totals w0 = 50+30 = 80, w1 = 20, mean 50 → λ = 80/50 = 1.6.
+	if row.OwnerSkew != 1.6 || row.OwnerMaxWorker != 0 {
+		t.Errorf("owner skew = %v (max worker %d), want 1.6 (worker 0)",
+			row.OwnerSkew, row.OwnerMaxWorker)
+	}
 	if !strings.Contains(rep.String(), "stolen") {
 		t.Error("String() missing stolen column")
+	}
+	if !strings.Contains(rep.String(), "owner-skew") {
+		t.Error("String() missing owner-skew column")
 	}
 
 	// A vertex-compute span keeps worker grouping and contributes nothing
@@ -147,7 +156,7 @@ func TestSkewReportChunkExecutorGrouping(t *testing.T) {
 		{Worker: 0, Phase: PhaseVertexCompute, Executor: 3, Stolen: true, DurNS: 10},
 	})
 	row, _ = rep.Row("vertex-compute")
-	if row.MaxWorker != 0 || row.StolenSpans != 0 {
+	if row.MaxWorker != 0 || row.StolenSpans != 0 || row.OwnerSkew != 0 {
 		t.Errorf("non-chunk span leaked executor grouping: %+v", row)
 	}
 }

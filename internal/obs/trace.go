@@ -26,6 +26,11 @@ const (
 	PhaseChunk
 	PhaseSpill
 	PhaseWatchdog
+	// PhaseRouteEager covers one source shard's eager outbox count,
+	// overlapped with the vertex phase (emitted at the barrier like all
+	// spans): Worker carries the source-shard index, Executor the pool
+	// goroutine that ran the count.
+	PhaseRouteEager
 	PhaseRun
 )
 
@@ -39,6 +44,7 @@ var phaseNames = [...]string{
 	PhaseChunk:         "chunk",
 	PhaseSpill:         "spill",
 	PhaseWatchdog:      "watchdog",
+	PhaseRouteEager:    "route-eager",
 	PhaseRun:           "run",
 }
 

@@ -457,8 +457,12 @@ func (e *engine) decodeState(data []byte) error {
 			ck.msgs, ck.netMsgs, ck.netBytes, ck.localBytes, ck.calls = 0, 0, 0, 0, 0
 			ck.err = nil
 		}
-		wk.msgs, wk.netMsgs, wk.netBytes, wk.localBytes = 0, 0, 0, 0
+		wk.msgs, wk.netMsgs, wk.netBytes, wk.localBytes, wk.calls = 0, 0, 0, 0, 0
+		for s := range wk.aggPartial {
+			wk.aggPartial[s] = aggCell{}
+		}
 		wk.cursor.Store(0)
+		wk.pendingChunks.Store(0)
 		wk.crashed.Store(false)
 		wk.faultAt = -1
 		wk.chunkFaultAt = -1

@@ -36,7 +36,6 @@ import (
 	"math/bits"
 	"math/rand"
 	"runtime"
-	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -178,6 +177,23 @@ type Job interface {
 	Schema() Schema
 }
 
+// RoutingMode selects when outbox messages are counted into the
+// destination-sharded staging that routing's placement consumes.
+type RoutingMode uint8
+
+const (
+	// RouteEager (the default) counts each source shard's outboxes as
+	// soon as the shard's last chunk retires, overlapping routing work
+	// with the remainder of the vertex phase. The placement that follows
+	// the barrier then needs only the prefix and place passes.
+	RouteEager RoutingMode = iota
+	// RouteBarrier defers all counting to a dedicated pool phase after
+	// the barrier, reproducing the pre-pipelined schedule. Both modes
+	// build bit-identical inboxes and Stats: the staging layout and the
+	// canonical (source worker, chunk, emission) order are shared.
+	RouteBarrier
+)
+
 // Config controls an engine run.
 type Config struct {
 	// NumWorkers is the number of simulated workers; 0 means GOMAXPROCS.
@@ -200,6 +216,10 @@ type Config struct {
 	// reproducing the one-static-slab-per-worker schedule of earlier
 	// releases. Results are identical either way; only wall time changes.
 	NoSteal bool
+	// Routing selects eager (overlapped with compute) or barrier-time
+	// outbox counting. Results and Stats are bit-identical across modes;
+	// only wall time changes.
+	Routing RoutingMode
 	// Partitioner selects vertex placement (default PartitionMod).
 	Partitioner PartitionKind
 	// CheckpointEvery takes a recovery checkpoint at the barrier entering
@@ -340,6 +360,7 @@ type aggCell struct {
 	f   float64
 }
 
+//gm:noalloc
 func (c *aggCell) merge(spec AggSpec, o aggCell) {
 	if !o.set {
 		return
@@ -416,9 +437,8 @@ func (f fastDiv) mod(x uint32) uint32 { return x - f.div(x)*f.d }
 type phaseKind uint8
 
 const (
-	phaseVertex      phaseKind = iota // chunked vertex compute, with stealing
-	phaseFold                         // worker-scoped combiner fold of chunk raw logs
-	phaseRouteCount                   // routing: per-segment destination counts
+	phaseVertex      phaseKind = iota // chunked vertex compute (incl. fold + eager routing hooks)
+	phaseRouteCount                   // routing: per-(dest, source-shard) counts (barrier mode)
 	phaseRoutePrefix                  // routing: offsets, inbox resize, reactivation
 	phaseRoutePlace                   // routing: stable placement into the CSR inbox
 )
@@ -448,9 +468,19 @@ func chunkSizeFor(cfgChunk, nw int) int {
 	return c
 }
 
-// maxRouteSegs bounds the per-destination segment fan-out of the chunked
-// routing phase (and the retained per-segment scratch).
-const maxRouteSegs = 8
+// maxRouteShards bounds the source-shard fan-out of the routing staging
+// (and the retained per-shard counting-sort scratch): source workers are
+// grouped into at most this many contiguous shards, each with its own
+// count row per destination, so shard counters never write the same
+// cache lines.
+const maxRouteShards = 8
+
+// eagerSpan records one source shard's eager count timing for the
+// PhaseRouteEager trace span emitted at the barrier.
+type eagerSpan struct {
+	startNS, durNS int64
+	executor       int32
+}
 
 // engine holds one run's state.
 type engine struct {
@@ -472,8 +502,20 @@ type engine struct {
 
 	noSteal    bool
 	combActive bool // the job registers at least one combiner
-	foldNeeded bool // combiners and at least one multi-chunk worker
-	maxSegs    int  // routing segments per destination (min(W, maxRouteSegs))
+	eager      bool // RouteEager: count outboxes as source shards retire
+
+	// Source-shard geometry for routing: workers are grouped into shards
+	// contiguous shard ranges (shardStart[s]..shardStart[s+1]).
+	// shardPending counts each shard's workers still computing (eager
+	// mode); eagerCounted marks that the vertex phase already produced
+	// this superstep's counts. shardObs records eager count timings for
+	// PhaseRouteEager spans.
+	shards       int
+	shardStart   []int32
+	workerShard  []int32
+	shardPending []atomic.Int32
+	eagerCounted bool
+	shardObs     []eagerSpan
 
 	workers   []*worker
 	executors []*executor
@@ -554,12 +596,16 @@ type chunk struct {
 	// reactivation.
 	numActive int32
 
-	// per-step counters, merged (and cleared) under the barrier
+	// per-step counters, merged into the owning worker (and cleared) by
+	// the worker epilogue when the worker's last chunk retires
 	msgs, netMsgs, netBytes, localBytes, calls int64
 
-	// span attribution for the last vertex phase
-	startNS, durNS int64
-	executor       int32
+	// span attribution for the last vertex phase. spanMsgs/spanBytes/
+	// spanCalls snapshot the counters at merge time so chunk spans stay
+	// attributable after the epilogue cleared them.
+	startNS, durNS                 int64
+	executor                       int32
+	spanMsgs, spanBytes, spanCalls int64
 
 	err error
 }
@@ -589,6 +635,11 @@ type worker struct {
 	chunks []chunk
 	// cursor is the next unclaimed chunk index (vertex phase).
 	cursor atomic.Int32
+	// pendingChunks counts this worker's chunks not yet retired this
+	// vertex phase; the executor that retires the last one runs the
+	// worker epilogue (fold, counter/aggregator merge, and in eager mode
+	// the shard-retirement bookkeeping).
+	pendingChunks atomic.Int32
 	// crashed marks an injected fault: the worker's remaining chunks are
 	// skipped, emulating the machine death rollback will repair.
 	crashed atomic.Bool
@@ -609,19 +660,25 @@ type worker struct {
 	msgSize   []int64
 	baseSize  int64
 
-	// counters fed by the fold/direct combiner path (merged under the
-	// barrier with the chunk counters)
-	msgs, netMsgs, netBytes, localBytes int64
-	foldStartNS, foldDurNS              int64
+	// Per-superstep counter accumulators. The combiner fold/direct path
+	// feeds them during compute; the worker epilogue folds the chunk
+	// counters in on top (in chunk order); the barrier then merges one
+	// partial per worker — O(W) instead of O(total chunks).
+	msgs, netMsgs, netBytes, localBytes, calls int64
+	foldStartNS, foldDurNS                     int64
+	// aggPartial is this worker's aggregator partial: chunk cells folded
+	// in chunk order by the epilogue, merged (and cleared) in worker
+	// order at the barrier.
+	aggPartial []aggCell
 
-	// Routing scratch, retained across supersteps. routeBoxes is the
-	// canonical (source worker, chunk) list of non-empty boxes destined
-	// here; routePfx its message-count prefix; segCounts the per-segment
-	// counting-sort rows.
-	routeBoxes [][]Msg
-	routePfx   []int64
-	segs       int
-	segCounts  [][]int32
+	// Routing staging, retained across supersteps. srcCounts[s] is the
+	// counting-sort row for source shard s: per destination vertex, the
+	// messages shard s sends here. srcMsgs[s] is that shard's total — a
+	// zero total means the row was skipped (left stale) by the count
+	// pass and must be skipped by prefix/place too. Each row is written
+	// by exactly one shard's counter, so counters never contend.
+	srcCounts [][]int32
+	srcMsgs   []int32
 
 	// faultAt is the local vertex index at which an armed injected fault
 	// fires this superstep; -1 when no fault is armed.
@@ -811,13 +868,23 @@ func newEngine(g *graph.Directed, job Job, cfg Config) *engine {
 	}
 	e.combActive = combiners != nil
 	e.noSteal = cfg.NoSteal
-	e.maxSegs = e.numWorkers
-	if e.maxSegs > maxRouteSegs {
-		e.maxSegs = maxRouteSegs
+	e.eager = cfg.Routing == RouteEager
+	e.shards = e.numWorkers
+	if e.shards > maxRouteShards {
+		e.shards = maxRouteShards
 	}
-	if e.maxSegs < 1 {
-		e.maxSegs = 1
+	if e.shards < 1 {
+		e.shards = 1
 	}
+	e.shardStart = shardBounds(e.numWorkers, e.shards)
+	e.workerShard = make([]int32, e.numWorkers)
+	for s := 0; s < e.shards; s++ {
+		for w := e.shardStart[s]; w < e.shardStart[s+1]; w++ {
+			e.workerShard[w] = int32(s)
+		}
+	}
+	e.shardPending = make([]atomic.Int32, e.shards)
+	e.shardObs = make([]eagerSpan, e.shards)
 	e.globals = make([]uint64, len(e.schema.Globals))
 	e.aggValues = make([]aggCell, len(e.schema.Aggregators))
 	e.masterSrc = newCountingSource(cfg.Seed)
@@ -912,14 +979,13 @@ func newEngine(g *graph.Directed, job Job, cfg Config) *engine {
 			}
 		}
 		wk.single = numChunks == 1
-		if combiners != nil && numChunks > 1 {
-			e.foldNeeded = true
-		}
+		wk.aggPartial = make([]aggCell, len(e.schema.Aggregators))
 
-		wk.segCounts = make([][]int32, e.maxSegs)
-		for s := range wk.segCounts {
-			wk.segCounts[s] = make([]int32, nw)
+		wk.srcCounts = make([][]int32, e.shards)
+		for s := range wk.srcCounts {
+			wk.srcCounts[s] = make([]int32, nw)
 		}
+		wk.srcMsgs = make([]int32, e.shards)
 		e.workers[w] = wk
 	}
 
@@ -977,15 +1043,30 @@ func (e *engine) runPhase(kind phaseKind, step int) {
 	e.phaseWG.Wait()
 }
 
-// runVertexPhase runs one chunked vertex-compute phase (plus the
-// combiner fold pass when needed): the superstep's compute work.
+// runVertexPhase runs one chunked vertex-compute phase: the superstep's
+// compute work, plus — riding the same dispatch — the combiner fold,
+// the per-worker counter/aggregator merge, and (in eager mode) the
+// source-shard outbox counting, each triggered as the relevant chunks
+// retire instead of waiting behind extra pool barriers.
 func (e *engine) runVertexPhase(step int) {
+	for s := range e.shardPending {
+		e.shardPending[s].Store(e.shardStart[s+1] - e.shardStart[s])
+	}
 	for _, wk := range e.workers {
 		wk.cursor.Store(0)
+		wk.pendingChunks.Store(int32(len(wk.chunks)))
+	}
+	// A chunkless worker (possible under degree partitioning when one
+	// oversized block absorbs several shares) never retires a chunk, so
+	// its epilogue runs here, before dispatch, on the barrier goroutine.
+	for _, wk := range e.workers {
+		if len(wk.chunks) == 0 {
+			e.workerEpilogue(wk, -1)
+		}
 	}
 	e.runPhase(phaseVertex, step)
-	if e.foldNeeded {
-		e.runPhase(phaseFold, step)
+	if e.eager {
+		e.eagerCounted = true
 	}
 }
 
@@ -1013,8 +1094,6 @@ func (x *executor) runCmd(cmd poolCmd) {
 	switch cmd.kind {
 	case phaseVertex:
 		x.vertexPhase(cmd.step)
-	case phaseFold:
-		x.foldPhase()
 	case phaseRouteCount:
 		x.routePhase(phaseRouteCount)
 	case phaseRoutePrefix:
@@ -1028,8 +1107,6 @@ func (k phaseKind) String() string {
 	switch k {
 	case phaseVertex:
 		return "vertex"
-	case phaseFold:
-		return "fold"
 	case phaseRouteCount:
 		return "route-count"
 	case phaseRoutePrefix:
@@ -1056,6 +1133,7 @@ func (x *executor) vertexPhase(step int) {
 			break
 		}
 		x.runChunk(own, ci, step)
+		x.retireChunk(own)
 	}
 	if e.noSteal {
 		return
@@ -1080,6 +1158,18 @@ func (x *executor) vertexPhase(step int) {
 			continue // lost the claim race; rescan
 		}
 		x.runChunk(wk, ci, step)
+		x.retireChunk(wk)
+	}
+}
+
+// retireChunk marks one of wk's chunks done. The atomic decrement chain
+// makes every earlier chunk's writes visible to whichever executor
+// performs the final decrement; that executor runs the worker epilogue.
+//
+//gm:noalloc
+func (x *executor) retireChunk(wk *worker) {
+	if wk.pendingChunks.Add(-1) == 0 {
+		x.e.workerEpilogue(wk, x.id)
 	}
 }
 
@@ -1185,27 +1275,55 @@ func (x *executor) runChunk(wk *worker, ci, step int) {
 	}
 }
 
-// foldPhase replays multi-chunk workers' raw combiner logs: one task per
-// worker, pulled from the shared queue.
+// workerEpilogue runs when wk's last chunk of the vertex phase retires:
+// it folds the worker's raw combiner logs (multi-chunk combiner workers),
+// merges the chunk counters and aggregator cells into the worker-level
+// partials in canonical chunk order, and — in eager mode — retires the
+// worker from its source shard, counting the whole shard's outboxes once
+// its last worker retires. Everything here reads state owned by wk (made
+// visible by the retirement decrement chain) or writes routing staging
+// no vertex-phase code touches, so it is safe to run while other
+// workers' chunks are still computing. executor is -1 when called from
+// the barrier goroutine (chunkless workers).
 //
 //gm:noalloc
-func (x *executor) foldPhase() {
-	e := x.e
-	if e.noSteal {
-		wk := e.workers[x.id]
-		if !wk.single {
-			wk.fold()
+func (e *engine) workerEpilogue(wk *worker, executor int) {
+	if wk.combiners != nil && !wk.single {
+		wk.fold()
+	}
+	for ci := range wk.chunks {
+		ck := &wk.chunks[ci]
+		wk.msgs += ck.msgs
+		wk.netMsgs += ck.netMsgs
+		wk.netBytes += ck.netBytes
+		wk.localBytes += ck.localBytes
+		wk.calls += ck.calls
+		ck.spanMsgs, ck.spanBytes, ck.spanCalls = ck.msgs, ck.netBytes, ck.calls
+		ck.msgs, ck.netMsgs, ck.netBytes, ck.localBytes, ck.calls = 0, 0, 0, 0, 0
+		for s := range ck.agg {
+			wk.aggPartial[s].merge(e.schema.Aggregators[s], ck.agg[s])
+			ck.agg[s] = aggCell{}
 		}
+	}
+	if !e.eager {
 		return
 	}
-	for {
-		t := int(e.taskCursor.Add(1)) - 1
-		if t >= len(e.workers) {
-			return
-		}
-		if wk := e.workers[t]; !wk.single {
-			wk.fold()
-		}
+	sh := e.workerShard[wk.index]
+	if e.shardPending[sh].Add(-1) != 0 {
+		return
+	}
+	// Last worker of the shard: count the shard's outboxes into every
+	// destination's staging row, overlapping with compute still running
+	// on other shards.
+	var t0 int64
+	if e.obsOn {
+		t0 = e.nowNS()
+	}
+	for _, dst := range e.workers {
+		e.countShard(dst, int(sh))
+	}
+	if e.obsOn {
+		e.shardObs[sh] = eagerSpan{startNS: t0, durNS: e.nowNS() - t0, executor: int32(executor)}
 	}
 }
 
@@ -1437,10 +1555,13 @@ func (e *engine) run(ctx context.Context) error {
 			barrierT0 = e.nowNS()
 		}
 		e.stats.Supersteps++
-		// Merge counters and aggregators in canonical (worker, chunk)
-		// order — the merge order, not the execution order, is what
-		// results observe, so stealing cannot perturb them. Aggregators
-		// are per-superstep (Pregel semantics): the master sees only the
+		// Batched barrier merge: the worker epilogues already folded each
+		// worker's chunk counters and aggregator cells into per-worker
+		// partials in canonical chunk order (overlapped with compute);
+		// the barrier folds the W partials in worker order — a two-level
+		// tree whose merge order is fixed by (worker, chunk) coordinates,
+		// so stealing cannot perturb results. Aggregators are
+		// per-superstep (Pregel semantics): the master sees only the
 		// contributions of the superstep that just ran.
 		for s := range e.aggValues {
 			e.aggValues[s] = aggCell{}
@@ -1451,19 +1572,11 @@ func (e *engine) run(ctx context.Context) error {
 			stepNet += wk.netBytes
 			stepNetMsgs += wk.netMsgs
 			stepLocal += wk.localBytes
-			wk.msgs, wk.netMsgs, wk.netBytes, wk.localBytes = 0, 0, 0, 0
-			for ci := range wk.chunks {
-				ck := &wk.chunks[ci]
-				stepMsgs += ck.msgs
-				stepNet += ck.netBytes
-				stepCalls += ck.calls
-				stepNetMsgs += ck.netMsgs
-				stepLocal += ck.localBytes
-				ck.msgs, ck.netMsgs, ck.netBytes, ck.localBytes, ck.calls = 0, 0, 0, 0, 0
-				for s := range ck.agg {
-					e.aggValues[s].merge(e.schema.Aggregators[s], ck.agg[s])
-					ck.agg[s] = aggCell{}
-				}
+			stepCalls += wk.calls
+			wk.msgs, wk.netMsgs, wk.netBytes, wk.localBytes, wk.calls = 0, 0, 0, 0, 0
+			for s := range wk.aggPartial {
+				e.aggValues[s].merge(e.schema.Aggregators[s], wk.aggPartial[s])
+				wk.aggPartial[s] = aggCell{}
 			}
 		}
 		e.stats.MessagesSent += stepMsgs
@@ -1592,30 +1705,28 @@ func (e *engine) run(ctx context.Context) error {
 }
 
 // emitVertexSpans emits the superstep's chunk spans (executor- and
-// steal-attributed) followed by one aggregated vertex-compute span per
-// worker, even for a superstep that is about to roll back: the trace
-// keeps failed work visible while Stats rewinds.
+// steal-attributed, from the snapshots the worker epilogue took before
+// clearing the live counters) followed by one aggregated vertex-compute
+// span per worker and the eager-count spans (one per source shard), even
+// for a superstep that is about to roll back: the trace keeps failed
+// work visible while Stats rewinds.
 func (e *engine) emitVertexSpans(step int, stateLabel string) {
 	for _, wk := range e.workers {
-		var msgs, bytes, calls, dur int64
+		var dur int64
 		startNS := int64(-1)
 		for ci := range wk.chunks {
 			ck := &wk.chunks[ci]
 			e.emit(obs.Span{Superstep: step, Worker: wk.index, Phase: obs.PhaseChunk,
 				State: stateLabel, StartNS: ck.startNS, DurNS: ck.durNS,
-				Messages: ck.msgs, Bytes: ck.netBytes, VertexCalls: ck.calls,
+				Messages: ck.spanMsgs, Bytes: ck.spanBytes, VertexCalls: ck.spanCalls,
 				Executor: int(ck.executor), Stolen: int(ck.executor) != wk.index})
-			msgs += ck.msgs
-			bytes += ck.netBytes
-			calls += ck.calls
 			dur += ck.durNS
 			if startNS < 0 || ck.startNS < startNS {
 				startNS = ck.startNS
 			}
 		}
-		// The combiner fold path accounts messages at the worker level.
-		msgs += wk.msgs
-		bytes += wk.netBytes
+		// The epilogue already folded chunk counters (and the combiner
+		// fold path's worker-level counts) into the worker partials.
 		if !wk.single && wk.combiners != nil {
 			dur += wk.foldDurNS
 		}
@@ -1624,7 +1735,19 @@ func (e *engine) emitVertexSpans(step int, stateLabel string) {
 		}
 		e.emit(obs.Span{Superstep: step, Worker: wk.index, Phase: obs.PhaseVertexCompute,
 			State: stateLabel, StartNS: startNS, DurNS: dur,
-			Messages: msgs, Bytes: bytes, VertexCalls: calls})
+			Messages: wk.msgs, Bytes: wk.netBytes, VertexCalls: wk.calls})
+	}
+	// Eager-count spans: Worker carries the source-shard index, Executor
+	// the pool goroutine that counted it (-1 when the shard retired on
+	// the barrier goroutine).
+	for sh := range e.shardObs {
+		es := &e.shardObs[sh]
+		if es.durNS == 0 && es.startNS == 0 {
+			continue
+		}
+		e.emit(obs.Span{Superstep: step, Worker: sh, Phase: obs.PhaseRouteEager,
+			StartNS: es.startNS, DurNS: es.durNS, Executor: int(es.executor)})
+		*es = eagerSpan{}
 	}
 }
 
@@ -1744,24 +1867,37 @@ func (e *engine) masterPhase(step int) (halted bool, err error) {
 //
 // Routing moves every outbox into destination workers' inboxes, grouped
 // per destination vertex in CSR form, preserving the canonical (source
-// worker, source chunk, emission) order for determinism. The work is
-// chunked like the vertex phase: each destination's message stream is
-// cut into up to maxSegs equal-mass segments, and (count, prefix, place)
-// tasks for all destinations go through the shared queue, so one worker
-// with a huge inbox — a hub under preferential attachment — no longer
-// serializes the phase. The placement is a segmented stable counting
-// sort: positions depend only on the box geometry, never on which
-// executor runs a segment, so the inbox is bit-identical to a
-// single-threaded sort.
+// worker, source chunk, emission) order for determinism. The staging is
+// sharded by source: workers are grouped into up to maxRouteShards
+// contiguous shards, and each (destination, shard) pair owns one
+// counting-sort row (srcCounts) that only that shard's counter writes —
+// no cross-shard cache contention. The placement is a sharded stable
+// counting sort: row offsets depend only on the box geometry, never on
+// which executor runs a task, so the inbox is bit-identical to a
+// single-threaded sort, and identical between eager and barrier modes
+// (both count the same boxes into the same rows).
+//
+// In eager mode the count pass already ran, overlapped with the vertex
+// phase (workerEpilogue → countShard, as each shard's last chunk
+// retired), leaving only the prefix and place dispatches here. In
+// barrier mode a dedicated count dispatch reproduces the trailing
+// schedule for A/B comparison.
 
-// routeMessages plans and runs the three routing sub-phases, reporting
-// whether any message is in flight. Boxes are read-only during the
-// phase and truncated by chunk execution (or fold) at the start of the
-// next vertex phase; once inbox/scratch capacity has reached its
-// high-water mark, routing allocates nothing.
+// routeMessages runs the routing sub-phases still outstanding for this
+// superstep and reports whether any message is in flight. Boxes are
+// read-only during the phase and truncated by chunk execution (or fold)
+// at the start of the next vertex phase; once inbox/scratch capacity
+// has reached its high-water mark, routing allocates nothing.
 func (e *engine) routeMessages() bool {
-	e.routePlan()
-	e.runPhase(phaseRouteCount, 0)
+	// Routing rebuilds the inbox in RAM; any spill segment from the
+	// previous superstep is dead from here on.
+	for _, wk := range e.workers {
+		wk.spilled = false
+	}
+	if !e.eagerCounted {
+		e.runPhase(phaseRouteCount, 0)
+	}
+	e.eagerCounted = false
 	e.runPhase(phaseRoutePrefix, 0)
 	e.runPhase(phaseRoutePlace, 0)
 	any := false
@@ -1774,96 +1910,95 @@ func (e *engine) routeMessages() bool {
 	return any
 }
 
-// routePlan assembles, per destination worker, the canonical list of
-// non-empty source boxes (worker outboxes for combiner jobs, chunk boxes
-// otherwise), their prefix sums, and the segment count for this
-// superstep. O(workers × chunks); runs on the barrier goroutine.
-func (e *engine) routePlan() {
-	for _, wk := range e.workers {
-		// Routing rebuilds the inbox in RAM; any spill segment from the
-		// previous superstep is dead from here on.
-		wk.spilled = false
-		wk.routeBoxes = wk.routeBoxes[:0]
-		wk.routePfx = wk.routePfx[:0]
-		var total int64
-		wk.routePfx = append(wk.routePfx, 0)
-		if e.combActive {
-			for _, src := range e.workers {
-				if box := src.outboxes[wk.index]; len(box) > 0 {
-					wk.routeBoxes = append(wk.routeBoxes, box)
-					total += int64(len(box))
-					wk.routePfx = append(wk.routePfx, total)
-				}
-			}
-		} else {
-			for _, src := range e.workers {
-				for ci := range src.chunks {
-					if box := src.chunks[ci].boxes[wk.index]; len(box) > 0 {
-						wk.routeBoxes = append(wk.routeBoxes, box)
-						total += int64(len(box))
-						wk.routePfx = append(wk.routePfx, total)
-					}
-				}
+// countShard counts source shard sh's messages destined for dst into
+// dst's srcCounts row for the shard, walking the shard's workers (and
+// their chunks) in canonical order. A shard that sent nothing to dst
+// skips the walk and leaves the row stale — srcMsgs records the total
+// so prefix and place skip it too. Called from the worker epilogue in
+// eager mode (overlapped with compute) and from the count dispatch in
+// barrier mode; either way exactly one goroutine writes each row.
+//
+//gm:noalloc
+func (e *engine) countShard(dst *worker, sh int) {
+	lo, hi := e.shardStart[sh], e.shardStart[sh+1]
+	d := dst.index
+	var total int32
+	if e.combActive {
+		for s := lo; s < hi; s++ {
+			total += int32(len(e.workers[s].outboxes[d]))
+		}
+	} else {
+		for s := lo; s < hi; s++ {
+			src := e.workers[s]
+			for ci := range src.chunks {
+				total += int32(len(src.chunks[ci].boxes[d]))
 			}
 		}
-		wk.inTotal = int(total)
-		wk.inDepth.Store(total)
-		// Segment count: enough that each segment's placement work
-		// dominates its O(len(ids)) prefix column, capped by the scratch.
-		segs := 1
-		if grain := int64(len(wk.ids)); !e.noSteal && grain > 0 {
-			if g := int64(2048); grain < g {
-				grain = g
-			}
-			segs = int(total / grain)
-			if segs < 1 {
-				segs = 1
-			}
-			if segs > e.maxSegs {
-				segs = e.maxSegs
+	}
+	dst.srcMsgs[sh] = total
+	if total == 0 {
+		return
+	}
+	cnt := dst.srcCounts[sh]
+	for i := range cnt {
+		cnt[i] = 0
+	}
+	if e.combActive {
+		for s := lo; s < hi; s++ {
+			for _, m := range e.workers[s].outboxes[d] {
+				cnt[dst.localOf(m.Dst)]++
 			}
 		}
-		wk.segs = segs
+		return
+	}
+	for s := lo; s < hi; s++ {
+		src := e.workers[s]
+		for ci := range src.chunks {
+			for _, m := range src.chunks[ci].boxes[d] {
+				cnt[dst.localOf(m.Dst)]++
+			}
+		}
 	}
 }
 
-// routePhase drains (destination, segment) tasks for the count or place
-// sub-phase. With stealing disabled each executor handles only its own
-// worker's segments, reproducing per-worker routing.
+// routePhase drains (destination, source-shard) tasks for the count or
+// place sub-phase. With stealing disabled each executor handles only
+// its own worker's rows, reproducing per-worker routing.
 //
 //gm:noalloc
 func (x *executor) routePhase(kind phaseKind) {
 	e := x.e
 	if e.noSteal {
 		wk := e.workers[x.id]
-		for s := 0; s < wk.segs; s++ {
-			wk.runSeg(kind, s)
+		for s := 0; s < e.shards; s++ {
+			wk.runShard(kind, s)
 		}
 		return
 	}
-	grid := int64(e.maxSegs)
+	grid := int64(e.shards)
 	limit := int64(len(e.workers)) * grid
 	for {
 		t := e.taskCursor.Add(1) - 1
 		if t >= limit {
 			return
 		}
-		wk := e.workers[t/grid]
-		if s := int(t % grid); s < wk.segs {
-			wk.runSeg(kind, s)
-		}
+		e.workers[t/grid].runShard(kind, int(t%grid))
 	}
 }
 
-// runSeg dispatches one (destination, segment) routing task to the
-// count or place sub-phase.
+// runShard dispatches one (destination, source-shard) routing task to
+// the count or place sub-phase.
 //
 //gm:noalloc
-func (wk *worker) runSeg(kind phaseKind, s int) {
+func (wk *worker) runShard(kind phaseKind, s int) {
 	if kind == phaseRouteCount {
-		wk.routeCount(s)
+		if s == 0 && wk.routeFaultOn && wk.routeFault == FaultRouteCount {
+			wk.routeFaultOn = false
+			wk.phaseErr = &InjectedFault{Superstep: wk.faultStep, Worker: wk.index, Phase: FaultRouteCount} //gm:alloc-ok fault-injection testing path; never armed in production runs
+		}
+		wk.e.countShard(wk, s)
 	} else {
-		wk.routePlace(s)
+		wk.placeShard(s)
 	}
 }
 
@@ -1885,58 +2020,28 @@ func (x *executor) prefixPhase() {
 	}
 }
 
-// segRange returns segment s's half-open range of the destination's
-// concatenated message stream.
-//
-//gm:noalloc
-func (wk *worker) segRange(s int) (int64, int64) {
-	total := int64(wk.inTotal)
-	return int64(s) * total / int64(wk.segs), int64(s+1) * total / int64(wk.segs)
-}
-
-// routeCount counts, per destination vertex, the messages of segment s.
-//
-//gm:noalloc
-func (wk *worker) routeCount(s int) {
-	if s == 0 && wk.routeFaultOn && wk.routeFault == FaultRouteCount {
-		wk.routeFaultOn = false
-		wk.phaseErr = &InjectedFault{Superstep: wk.faultStep, Worker: wk.index, Phase: FaultRouteCount} //gm:alloc-ok fault-injection testing path; never armed in production runs
-	}
-	cnt := wk.segCounts[s]
-	for i := range cnt {
-		cnt[i] = 0
-	}
-	lo, hi := wk.segRange(s)
-	if lo >= hi {
-		return
-	}
-	b := sort.Search(len(wk.routeBoxes), func(i int) bool { return wk.routePfx[i+1] > lo }) //gm:alloc-ok closure is inlined into sort.Search and never escapes; alloc gate confirms
-	off := lo - wk.routePfx[b]
-	for remaining := hi - lo; remaining > 0; b, off = b+1, 0 {
-		box := wk.routeBoxes[b]
-		take := int64(len(box)) - off
-		if take > remaining {
-			take = remaining
-		}
-		for i := off; i < off+take; i++ {
-			cnt[wk.localOf(box[i].Dst)]++
-		}
-		remaining -= take
-	}
-}
-
-// routePrefix turns the per-segment counts into placement offsets and
-// the CSR inbox offsets, sizes the inbox, and reactivates message
+// routePrefix turns the per-shard counts into placement offsets and the
+// CSR inbox offsets, sizes the inbox, and reactivates message
 // recipients (maintaining the chunk active counters). Offsets derive
-// only from counts, so placement is execution-order independent.
+// only from counts, so placement is execution-order independent. In
+// eager mode an armed route-count fault fires here instead — the count
+// pass it targets was absorbed into the vertex phase, and fail-stop
+// semantics make the two observationally equivalent (the failure
+// surfaces at the routing barrier either way).
 //
 //gm:noalloc
 func (wk *worker) routePrefix() {
-	if wk.routeFaultOn && wk.routeFault == FaultRoutePrefix {
+	if wk.routeFaultOn && (wk.routeFault == FaultRoutePrefix || wk.routeFault == FaultRouteCount) {
 		wk.routeFaultOn = false
-		wk.phaseErr = &InjectedFault{Superstep: wk.faultStep, Worker: wk.index, Phase: FaultRoutePrefix} //gm:alloc-ok fault-injection testing path; never armed in production runs
+		wk.phaseErr = &InjectedFault{Superstep: wk.faultStep, Worker: wk.index, Phase: wk.routeFault} //gm:alloc-ok fault-injection testing path; never armed in production runs
 	}
-	total := wk.inTotal
+	shards := len(wk.srcMsgs)
+	total := 0
+	for s := 0; s < shards; s++ {
+		total += int(wk.srcMsgs[s])
+	}
+	wk.inTotal = total
+	wk.inDepth.Store(int64(total))
 	if cap(wk.inFlat) < total {
 		wk.inFlat = make([]Msg, total) //gm:alloc-ok inbox grows to its high-water mark, then capacity is reused; steady state allocation-free
 	} else {
@@ -1952,9 +2057,12 @@ func (wk *worker) routePrefix() {
 	var run int32
 	for li := 0; li < n; li++ {
 		wk.inOff[li] = run
-		for s := 0; s < wk.segs; s++ {
-			c := wk.segCounts[s][li]
-			wk.segCounts[s][li] = run
+		for s := 0; s < shards; s++ {
+			if wk.srcMsgs[s] == 0 {
+				continue
+			}
+			c := wk.srcCounts[s][li]
+			wk.srcCounts[s][li] = run
 			run += c
 		}
 	}
@@ -1970,34 +2078,43 @@ func (wk *worker) routePrefix() {
 	}
 }
 
-// routePlace stably places segment s's messages at the offsets computed
-// by routePrefix.
+// placeShard stably places source shard s's messages at the offsets
+// computed by routePrefix, walking the shard's boxes in the same
+// canonical order countShard counted them.
 //
 //gm:noalloc
-func (wk *worker) routePlace(s int) {
+func (wk *worker) placeShard(s int) {
 	if s == 0 && wk.routeFaultOn && wk.routeFault == FaultRoutePlace {
 		wk.routeFaultOn = false
 		wk.phaseErr = &InjectedFault{Superstep: wk.faultStep, Worker: wk.index, Phase: FaultRoutePlace} //gm:alloc-ok fault-injection testing path; never armed in production runs
 	}
-	lo, hi := wk.segRange(s)
-	if lo >= hi {
+	if wk.srcMsgs[s] == 0 {
 		return
 	}
-	pos := wk.segCounts[s]
-	b := sort.Search(len(wk.routeBoxes), func(i int) bool { return wk.routePfx[i+1] > lo }) //gm:alloc-ok closure is inlined into sort.Search and never escapes; alloc gate confirms
-	off := lo - wk.routePfx[b]
-	for remaining := hi - lo; remaining > 0; b, off = b+1, 0 {
-		box := wk.routeBoxes[b]
-		take := int64(len(box)) - off
-		if take > remaining {
-			take = remaining
+	e := wk.e
+	lo, hi := e.shardStart[s], e.shardStart[s+1]
+	d := wk.index
+	pos := wk.srcCounts[s]
+	if e.combActive {
+		for src := lo; src < hi; src++ {
+			for _, m := range e.workers[src].outboxes[d] {
+				li := wk.localOf(m.Dst)
+				p := pos[li]
+				pos[li] = p + 1
+				wk.inFlat[p] = m
+			}
 		}
-		for i := off; i < off+take; i++ {
-			li := wk.localOf(box[i].Dst)
-			p := pos[li]
-			pos[li] = p + 1
-			wk.inFlat[p] = box[i]
+		return
+	}
+	for src := lo; src < hi; src++ {
+		sw := e.workers[src]
+		for ci := range sw.chunks {
+			for _, m := range sw.chunks[ci].boxes[d] {
+				li := wk.localOf(m.Dst)
+				p := pos[li]
+				pos[li] = p + 1
+				wk.inFlat[p] = m
+			}
 		}
-		remaining -= take
 	}
 }

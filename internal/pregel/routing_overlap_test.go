@@ -1,0 +1,117 @@
+package pregel
+
+import (
+	"reflect"
+	"testing"
+
+	"gmpregel/internal/graph/gen"
+)
+
+// The pipelined-routing determinism criterion: eager routing (outboxes
+// counted into the sharded staging as chunks retire, overlapped with
+// the vertex phase) and barrier routing (the legacy count phase after
+// the barrier) are the SAME computation on different schedules. For
+// every point of the scheduling grid — worker count × chunk size ×
+// stealing — the two modes must produce bit-identical Stats (including
+// the per-step trace), bit-identical vertex outputs, and bit-identical
+// merged aggregator sequences (float reductions included: both modes
+// fold chunks into per-worker partials in chunk order and merge
+// partials in worker order, so even non-associative float sums group
+// identically).
+func TestRoutingOverlapDeterminism(t *testing.T) {
+	const n, steps = 53, 6
+	g := gen.TwitterLike(n, 5, 13)
+	for _, w := range workerCounts() {
+		for _, chunk := range []int{1, 64} {
+			for _, noSteal := range []bool{false, true} {
+				base := Config{NumWorkers: w, Seed: 21, TraceSteps: true,
+					ChunkSize: chunk, NoSteal: noSteal}
+				eager, barrier := base, base
+				eager.Routing = RouteEager
+				barrier.Routing = RouteBarrier
+
+				ej := &aggDetJob{steps: steps}
+				est, err := Run(g, ej, eager)
+				if err != nil {
+					t.Fatal(err)
+				}
+				bj := &aggDetJob{steps: steps}
+				bst, err := Run(g, bj, barrier)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(est, bst) {
+					t.Errorf("W=%d chunk=%d nosteal=%v: eager and barrier Stats differ:\neager:   %+v\nbarrier: %+v",
+						w, chunk, noSteal, est, bst)
+				}
+				if !reflect.DeepEqual(ej.Observed, bj.Observed) {
+					t.Errorf("W=%d chunk=%d nosteal=%v: aggregator sequences differ between routing modes",
+						w, chunk, noSteal)
+				}
+
+				eLabels, elst := runMinLabel(t, g, n, eager)
+				bLabels, blst := runMinLabel(t, g, n, barrier)
+				if !reflect.DeepEqual(eLabels, bLabels) {
+					t.Errorf("W=%d chunk=%d nosteal=%v: min-label outputs differ between routing modes",
+						w, chunk, noSteal)
+				}
+				if !reflect.DeepEqual(elst, blst) {
+					t.Errorf("W=%d chunk=%d nosteal=%v: min-label Stats differ between routing modes",
+						w, chunk, noSteal)
+				}
+			}
+		}
+	}
+}
+
+// Crash-during-eager-routing recovery: with the count phase overlapped
+// into the vertex phase, every routing-family fault must still roll
+// back and replay to a bit-identical result. The matrix reuses the
+// segmented-routing fault phases (under eager routing FaultRouteCount
+// is remapped to fire at the head of the prefix phase — the count work
+// it targeted now runs inside the vertex phase, and fail-stop semantics
+// make the two injection points observationally equivalent).
+func TestEagerRoutingCrashRecovery(t *testing.T) {
+	const n = 50
+	g := gen.TwitterLike(n, 4, 9)
+	base := Config{NumWorkers: 4, Seed: 7, TraceSteps: true, Routing: RouteEager}
+	labels, st := runMinLabel(t, g, n, base)
+
+	for _, phase := range []FaultPhase{FaultRouteCount, FaultRoutePrefix, FaultRoutePlace, FaultRouting} {
+		t.Run(phase.String(), func(t *testing.T) {
+			faulty := base
+			faulty.CheckpointEvery = 3
+			faulty.Faults = FaultPlan{{Superstep: 4, Worker: 2, Phase: phase}}
+			fLabels, fst := runMinLabel(t, g, n, faulty)
+			if !reflect.DeepEqual(labels, fLabels) {
+				t.Errorf("labels differ after eager-routing %s crash", phase)
+			}
+			if fst.Recoveries != 1 {
+				t.Errorf("Recoveries = %d, want 1", fst.Recoveries)
+			}
+			if a, b := statsModuloRecovery(st), statsModuloRecovery(fst); !reflect.DeepEqual(a, b) {
+				t.Errorf("stats (incl. per-step trace) differ after eager %s crash:\nclean:  %+v\nfaulty: %+v",
+					phase, a, b)
+			}
+		})
+	}
+
+	// The same crash while a checkpoint is also being torn: recovery must
+	// fall back past the corrupt snapshot and still converge identically.
+	faulty := base
+	faulty.CheckpointEvery = 2
+	faulty.Faults = FaultPlan{
+		{Superstep: 4, Worker: 1, Phase: FaultCheckpoint},
+		{Superstep: 5, Worker: 2, Phase: FaultRoutePrefix},
+	}
+	fLabels, fst := runMinLabel(t, g, n, faulty)
+	if !reflect.DeepEqual(labels, fLabels) {
+		t.Error("labels differ after torn-checkpoint + eager routing crash")
+	}
+	if a, b := statsModuloRecovery(st), statsModuloRecovery(fst); !reflect.DeepEqual(a, b) {
+		t.Errorf("stats differ after torn-checkpoint + eager routing crash:\n%+v\n%+v", a, b)
+	}
+	if fst.Recoveries == 0 {
+		t.Error("no recovery recorded")
+	}
+}
