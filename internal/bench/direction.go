@@ -1,0 +1,157 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"reflect"
+	"runtime"
+	"time"
+
+	"gmpregel/internal/pregel"
+)
+
+// DirectionRow is one (graph, algorithm, worker-count) cell of the
+// direction sweep: an interleaved three-arm A/B between pure push, pure
+// pull (reverse-CSR gather), and the Beamer-style auto heuristic.
+// Trials rotate push/pull/auto so ambient noise lands on every arm
+// evenly, the minimum of each arm is reported, and all arms' Stats are
+// required to be bit-identical — direction is a performance knob, never
+// a semantic one (the sweep hard-errors otherwise).
+//
+// PullSpeedup and AutoSpeedup are push/pull and push/auto elapsed
+// (> 1 means the alternative beat pure push). AutoSteps is the auto
+// arm's per-superstep direction schedule; AutoSwitches counts its
+// push↔pull transitions. BFS is the headline workload: its frontier
+// swells and collapses, so auto should pull on the dense middle steps
+// and push on the sparse rim.
+type DirectionRow struct {
+	Graph          string        `json:"graph"`
+	Algorithm      string        `json:"algorithm"`
+	Workers        int           `json:"workers"`
+	PushElapsed    time.Duration `json:"push_elapsed_ns"`
+	PullElapsed    time.Duration `json:"pull_elapsed_ns"`
+	AutoElapsed    time.Duration `json:"auto_elapsed_ns"`
+	PushNsPerStep  int64         `json:"push_ns_per_superstep"`
+	AutoNsPerStep  int64         `json:"auto_ns_per_superstep"`
+	PullSpeedup    float64       `json:"pull_speedup"`
+	AutoSpeedup    float64       `json:"auto_speedup"`
+	StatsIdentical bool          `json:"stats_identical"`
+	PullSteps      int           `json:"pull_steps"`
+	AutoSteps      []string      `json:"auto_steps"`
+	AutoPullSteps  int           `json:"auto_pull_steps"`
+	AutoSwitches   int           `json:"auto_switches"`
+}
+
+// DirectionReport wraps the sweep's rows with the configuration that
+// produced them.
+type DirectionReport struct {
+	Scale      int            `json:"scale"`
+	Workers    int            `json:"workers"`
+	Trials     int            `json:"trials"`
+	GoMaxProcs int            `json:"gomaxprocs"`
+	Rows       []DirectionRow `json:"rows"`
+}
+
+// directionPairs lists the (graph, manual algorithm) pairs the sweep
+// covers: BFS (the canonical direction-optimization workload) and
+// PageRank (dense every superstep, so auto should pull almost
+// throughout) on each Figure-6 graph.
+func directionPairs() [][2]string {
+	return [][2]string{
+		{"twitter", "bfs"},
+		{"sk2005", "bfs"},
+		{"bipartite", "bfs"},
+		{"twitter", "pagerank"},
+		{"sk2005", "pagerank"},
+		{"bipartite", "pagerank"},
+	}
+}
+
+// DirectionSweep runs the interleaved push/pull/auto A/B on every
+// Figure-6 graph at the given worker count.
+func DirectionSweep(w io.Writer, scale, workers, trials int, seed int64) (*DirectionReport, error) {
+	if trials < 1 {
+		trials = 1
+	}
+	rep := &DirectionReport{
+		Scale:      scale,
+		Workers:    workers,
+		Trials:     trials,
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+	}
+	p := DefaultParams()
+	fmt.Fprintf(w, "Direction sweep: push vs pull vs auto, scale %d, %d workers, %d interleaved trials/arm (GOMAXPROCS=%d)\n",
+		scale, workers, trials, rep.GoMaxProcs)
+	fmt.Fprintf(w, "%-10s %-9s %12s %12s %12s %8s %8s %6s %8s %s\n",
+		"graph", "algo", "push", "pull", "auto", "pull-spd", "auto-spd", "pulls", "switches", "auto schedule")
+	for _, pair := range directionPairs() {
+		gname, algo := pair[0], pair[1]
+		spec, err := GraphByName(gname)
+		if err != nil {
+			return nil, err
+		}
+		g := spec.Build(scale)
+		boys := 0
+		if spec.BipartiteBoys != nil {
+			boys = spec.BipartiteBoys(scale)
+		}
+		in := MakeInputs(g, boys, seed+7)
+		row := DirectionRow{Graph: gname, Algorithm: algo, Workers: workers}
+		var push, pull, auto Outcome
+		var pullTrace, autoTrace pregel.DirectionTrace
+		for t := 0; t < trials; t++ {
+			pushCfg := engineConfig(workers, seed)
+			pushCfg.Direction = pregel.DirPush
+			po, err := RunManual(algo, g, in, p, pushCfg, 1)
+			if err != nil {
+				return nil, fmt.Errorf("direction %s/%s push: %v", gname, algo, err)
+			}
+			pullCfg := engineConfig(workers, seed)
+			pullCfg.Direction = pregel.DirPull
+			pullCfg.DirTrace = &pullTrace
+			lo, err := RunManual(algo, g, in, p, pullCfg, 1)
+			if err != nil {
+				return nil, fmt.Errorf("direction %s/%s pull: %v", gname, algo, err)
+			}
+			autoCfg := engineConfig(workers, seed)
+			autoCfg.Direction = pregel.DirAuto
+			autoCfg.DirTrace = &autoTrace
+			ao, err := RunManual(algo, g, in, p, autoCfg, 1)
+			if err != nil {
+				return nil, fmt.Errorf("direction %s/%s auto: %v", gname, algo, err)
+			}
+			if !reflect.DeepEqual(po.Stats, lo.Stats) || !reflect.DeepEqual(po.Stats, ao.Stats) {
+				return nil, fmt.Errorf("direction %s/%s W=%d: push/pull/auto produced different Stats — direction must be semantics-free", gname, algo, workers)
+			}
+			if t == 0 || po.Elapsed < push.Elapsed {
+				push = po
+			}
+			if t == 0 || lo.Elapsed < pull.Elapsed {
+				pull = lo
+			}
+			if t == 0 || ao.Elapsed < auto.Elapsed {
+				auto = ao
+			}
+		}
+		row.PushElapsed, row.PullElapsed, row.AutoElapsed = push.Elapsed, pull.Elapsed, auto.Elapsed
+		row.PushNsPerStep, row.AutoNsPerStep = push.NsPerSuperstep, auto.NsPerSuperstep
+		row.StatsIdentical = true
+		if pull.Elapsed > 0 {
+			row.PullSpeedup = float64(push.Elapsed) / float64(pull.Elapsed)
+		}
+		if auto.Elapsed > 0 {
+			row.AutoSpeedup = float64(push.Elapsed) / float64(auto.Elapsed)
+		}
+		row.PullSteps = pullTrace.PullSteps
+		row.AutoSteps = autoTrace.Steps
+		row.AutoPullSteps = autoTrace.PullSteps
+		row.AutoSwitches = autoTrace.Switches
+		rep.Rows = append(rep.Rows, row)
+		fmt.Fprintf(w, "%-10s %-9s %12s %12s %12s %8.2f %8.2f %6d %8d %v\n",
+			gname, algo,
+			row.PushElapsed.Round(time.Microsecond), row.PullElapsed.Round(time.Microsecond),
+			row.AutoElapsed.Round(time.Microsecond),
+			row.PullSpeedup, row.AutoSpeedup, row.AutoPullSteps, row.AutoSwitches, row.AutoSteps)
+	}
+	return rep, nil
+}

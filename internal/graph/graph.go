@@ -12,6 +12,7 @@ package graph
 import (
 	"fmt"
 	"sort"
+	"sync"
 )
 
 // NodeID identifies a vertex. IDs are dense in [0, NumNodes).
@@ -28,7 +29,11 @@ type Directed struct {
 	// OutDst holds destination vertices of all edges, grouped by source.
 	OutDst []NodeID
 
-	// in-CSR, built lazily by In().
+	// in-CSR, built lazily (and at most once) by ensureIn. inOnce makes
+	// the build safe to trigger from concurrent readers: before the
+	// guard, two goroutines calling InNbrs on a fresh graph raced on the
+	// inStart/inSrc/inEdge writes.
+	inOnce  sync.Once
 	inStart []int64
 	inSrc   []NodeID
 	// inEdge maps each in-edge position to its out-edge index, so edge
@@ -43,6 +48,8 @@ func (g *Directed) NumNodes() int { return len(g.OutStart) - 1 }
 func (g *Directed) NumEdges() int64 { return int64(len(g.OutDst)) }
 
 // OutDegree returns the out-degree of v.
+//
+//gm:noalloc
 func (g *Directed) OutDegree(v NodeID) int {
 	return int(g.OutStart[v+1] - g.OutStart[v])
 }
@@ -86,20 +93,29 @@ func (g *Directed) buildIn() {
 	}
 }
 
+// ensureIn builds the reverse CSR exactly once, safely under concurrent
+// callers. After the Once completes, the in-arrays are immutable and may
+// be read from any goroutine without synchronization.
+func (g *Directed) ensureIn() { g.inOnce.Do(g.buildIn) }
+
+// BuildIn eagerly materializes the reverse CSR (and the in-edge→out-edge
+// index), so later InNbrs/InDegree/InEdgeIndices calls on hot paths are
+// pure reads that never allocate. The engine calls this at construction
+// when a pull-capable direction mode is configured.
+func (g *Directed) BuildIn() { g.ensureIn() }
+
 // InDegree returns the in-degree of v, building the reverse CSR if needed.
 func (g *Directed) InDegree(v NodeID) int {
-	if g.inStart == nil {
-		g.buildIn()
-	}
+	g.ensureIn()
 	return int(g.inStart[v+1] - g.inStart[v])
 }
 
 // InNbrs returns the in-neighbors of v, building the reverse CSR if
-// needed. The returned slice aliases the graph's storage.
+// needed. The returned slice aliases the graph's storage. Within the
+// slice, sources appear in ascending (source, out-edge-index) order —
+// the canonical order the engine's pull phase relies on.
 func (g *Directed) InNbrs(v NodeID) []NodeID {
-	if g.inStart == nil {
-		g.buildIn()
-	}
+	g.ensureIn()
 	return g.inSrc[g.inStart[v]:g.inStart[v+1]]
 }
 
@@ -107,9 +123,7 @@ func (g *Directed) InNbrs(v NodeID) []NodeID {
 // InNbrs(v)), the out-edge index of the corresponding edge, so edge
 // properties can be read when traversing in-edges.
 func (g *Directed) InEdgeIndices(v NodeID) []int64 {
-	if g.inStart == nil {
-		g.buildIn()
-	}
+	g.ensureIn()
 	return g.inEdge[g.inStart[v]:g.inStart[v+1]]
 }
 

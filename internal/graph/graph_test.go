@@ -4,7 +4,9 @@ import (
 	"bytes"
 	"math/rand"
 	"reflect"
+	"runtime"
 	"sort"
+	"sync"
 	"testing"
 	"testing/quick"
 )
@@ -157,6 +159,125 @@ func TestTransposeQuick(t *testing.T) {
 		}
 		if !reflect.DeepEqual(fwd, rev) {
 			t.Fatalf("trial %d: transpose mismatch", trial)
+		}
+	}
+}
+
+// skewedGraph builds a preferential-attachment-flavored random graph
+// that deliberately includes self-loops and parallel edges, the cases a
+// reverse-CSR implementation is most likely to mishandle.
+func skewedGraph(rng *rand.Rand, n, m int) (*Directed, []Edge) {
+	edges := make([]Edge, 0, m)
+	for i := 0; i < m; i++ {
+		src := NodeID(rng.Intn(n))
+		var dst NodeID
+		switch rng.Intn(10) {
+		case 0: // self-loop
+			dst = src
+		case 1, 2, 3: // hub destination: concentrates in-degree
+			dst = NodeID(rng.Intn(1 + n/8))
+		default:
+			dst = NodeID(rng.Intn(n))
+		}
+		edges = append(edges, Edge{src, dst})
+		if rng.Intn(6) == 0 { // parallel edge
+			edges = append(edges, Edge{src, dst})
+		}
+	}
+	return FromEdges(n, edges), edges
+}
+
+// Satellite: the reverse CSR and the in-edge→out-edge index must
+// round-trip against the forward CSR on skewed graphs with self-loops
+// and parallel edges: every in-edge position of v maps to a distinct
+// out-edge whose destination is v, every out-edge appears exactly once
+// across all in-lists, and in-lists are in canonical ascending
+// (source, out-edge-index) order.
+func TestReverseCSRRoundTripSkewed(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 40; trial++ {
+		n := 2 + rng.Intn(60)
+		m := rng.Intn(400)
+		g, _ := skewedGraph(rng, n, m)
+		seen := make([]bool, g.NumEdges())
+		for v := NodeID(0); int(v) < n; v++ {
+			srcs := g.InNbrs(v)
+			idxs := g.InEdgeIndices(v)
+			if len(srcs) != len(idxs) || len(srcs) != g.InDegree(v) {
+				t.Fatalf("trial %d v=%d: len(srcs)=%d len(idxs)=%d InDegree=%d",
+					trial, v, len(srcs), len(idxs), g.InDegree(v))
+			}
+			prev := int64(-1)
+			for i, e := range idxs {
+				if e <= prev {
+					t.Fatalf("trial %d v=%d: in-edge indices not strictly ascending: %v", trial, v, idxs)
+				}
+				prev = e
+				if seen[e] {
+					t.Fatalf("trial %d v=%d: out-edge %d appears in two in-lists", trial, v, e)
+				}
+				seen[e] = true
+				if g.OutDst[e] != v {
+					t.Fatalf("trial %d v=%d: OutDst[%d]=%d, want %d", trial, v, e, g.OutDst[e], v)
+				}
+				lo, hi := g.OutEdgeRange(srcs[i])
+				if e < lo || e >= hi {
+					t.Fatalf("trial %d v=%d: edge %d outside source %d's range [%d,%d)",
+						trial, v, e, srcs[i], lo, hi)
+				}
+			}
+			// Ascending edge index implies ascending source (edges are
+			// grouped by source), so srcs must be sorted too.
+			if !sort.SliceIsSorted(srcs, func(i, j int) bool { return srcs[i] < srcs[j] }) {
+				t.Fatalf("trial %d v=%d: in-neighbors not sorted: %v", trial, v, srcs)
+			}
+		}
+		for e, ok := range seen {
+			if !ok {
+				t.Fatalf("trial %d: out-edge %d missing from every in-list", trial, e)
+			}
+		}
+	}
+}
+
+// Satellite: concurrent first readers of the lazily built reverse CSR
+// must not race (run under -race). Before the sync.Once guard, the
+// mutate-on-demand buildIn raced when worker goroutines touched
+// InNbrs/InDegree/InEdgeIndices simultaneously.
+func TestLazyReverseCSRConcurrent(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 8; trial++ {
+		n := 64 + rng.Intn(64)
+		g, _ := skewedGraph(rng, n, 300)
+		procs := runtime.GOMAXPROCS(0)
+		if procs < 4 {
+			procs = 4
+		}
+		var start, done sync.WaitGroup
+		start.Add(1)
+		sums := make([]int64, procs)
+		for p := 0; p < procs; p++ {
+			done.Add(1)
+			go func(p int) {
+				defer done.Done()
+				start.Wait() // maximize the chance all goroutines hit the build together
+				var sum int64
+				for v := NodeID(0); int(v) < n; v++ {
+					sum += int64(g.InDegree(v))
+					for i, s := range g.InNbrs(v) {
+						sum += int64(s) + g.InEdgeIndices(v)[i]
+					}
+				}
+				sums[p] = sum
+			}(p)
+		}
+		start.Done()
+		done.Wait()
+		for p := 1; p < procs; p++ {
+			if sums[p] != sums[0] {
+				t.Fatalf("trial %d: goroutine %d read a different reverse CSR (%d vs %d)",
+					trial, p, sums[p], sums[0])
+			}
 		}
 	}
 }

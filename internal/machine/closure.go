@@ -217,6 +217,11 @@ func (ex *exec) compileSendToNbrs(s ir.SendToNbrs) stmtFn {
 	perEdge := exprsUseEdgeProps(append(append([]ir.Expr(nil), s.Payload...), s.EdgeCond))
 	if !perEdge {
 		return func(env *vertexEnv) {
+			// On a pull superstep the engine drops sends; skip building
+			// the message (the gather phase re-derives it per in-edge).
+			if env.vc.PullStep() {
+				return
+			}
 			if cond != nil && !cond(env).AsBool() {
 				return
 			}
@@ -229,6 +234,9 @@ func (ex *exec) compileSendToNbrs(s ir.SendToNbrs) stmtFn {
 		}
 	}
 	return func(env *vertexEnv) {
+		if env.vc.PullStep() {
+			return
+		}
 		lo, hi := env.vc.OutEdgeRange()
 		nbrs := env.vc.OutNbrs()
 		for e := lo; e < hi; e++ {
@@ -360,7 +368,7 @@ func (ex *exec) compileExpr(e ir.Expr) exprFn {
 			return func(env *vertexEnv) ir.Value { return ir.Int(int64(env.vc.ID())) }
 		}
 	case ir.Binary:
-		return compileBinary(e, ex)
+		return compileBinary(e.Op, ex.compileExpr(e.L), ex.compileExpr(e.R))
 	case ir.Unary:
 		x := ex.compileExpr(e.X)
 		if e.Op == ast.UnNot {
@@ -387,10 +395,8 @@ func (ex *exec) compileExpr(e ir.Expr) exprFn {
 	panic(fmt.Sprintf("machine: cannot compile expression %T", e))
 }
 
-func compileBinary(e ir.Binary, ex *exec) exprFn {
-	l := ex.compileExpr(e.L)
-	r := ex.compileExpr(e.R)
-	switch e.Op {
+func compileBinary(op ast.BinOp, l, r exprFn) exprFn {
+	switch op {
 	case ast.BinAnd:
 		return func(env *vertexEnv) ir.Value {
 			if !l(env).AsBool() {
@@ -418,7 +424,6 @@ func compileBinary(e ir.Binary, ex *exec) exprFn {
 	case ast.BinGe:
 		return func(env *vertexEnv) ir.Value { return ir.Bool(!ir.Less(l(env), r(env))) }
 	}
-	op := e.Op
 	return func(env *vertexEnv) ir.Value {
 		a := l(env)
 		b := r(env)

@@ -1,0 +1,320 @@
+// Gather compilation: the pull-phase counterpart of closure.go. A
+// vertex state whose sends can be re-derived from post-compute state is
+// "gather eligible": the engine may then run the superstep in pull
+// direction, with each destination re-evaluating the sender's guard
+// chain, edge condition, and payload over the reverse CSR instead of
+// receiving pushed messages (Beamer-style direction optimization). The
+// compiled gather closures evaluate the SAME ir expressions as the push
+// send site, only oriented at a remote source vertex, so the gathered
+// inbox is bit-identical to the pushed one by construction.
+package machine
+
+import (
+	"gmpregel/internal/gm/ast"
+	"gmpregel/internal/graph"
+	"gmpregel/internal/ir"
+	"gmpregel/internal/pregel"
+)
+
+// gatherInfo is the pull-orientation compilation of one vertex state.
+type gatherInfo struct {
+	ok   bool
+	none bool // eligible because the state has no send site at all
+
+	// guards are the compiled If conditions dominating the send site,
+	// outermost first, with else-branch polarity folded in; cond is the
+	// compiled per-edge condition (nil when unconditional); payload
+	// builds the message fields.
+	guards  []exprFn
+	cond    exprFn
+	msgType uint8
+	fields  []ir.Kind
+	payload []exprFn
+}
+
+// guardAt is one If condition on the path to the send site: cond with
+// neg polarity (true for the else branch), introduced at clock `at`.
+type guardAt struct {
+	cond ir.Expr
+	neg  bool
+	at   int
+}
+
+// gatherScan is the structural pass over a vertex-state body. It
+// assigns every statement a clock in source order (an If's branches
+// tick after the If itself), records the latest write clock per
+// property slot, and captures the unique SendToNbrs site with its
+// dominating guard chain.
+type gatherScan struct {
+	clock    int
+	maxWrite map[int]int
+	send     *ir.SendToNbrs
+	sendTime int
+	guards   []guardAt
+	path     []guardAt
+	forDepth int
+	bad      bool
+}
+
+func (g *gatherScan) scan(ss []ir.Stmt) {
+	for _, s := range ss {
+		if g.bad {
+			return
+		}
+		g.clock++
+		c := g.clock
+		switch s := s.(type) {
+		case ir.SetProp:
+			if c > g.maxWrite[s.Slot] {
+				g.maxWrite[s.Slot] = c
+			}
+		case ir.SendToNbrs:
+			// Message-dependent or multi-site sends cannot be re-derived
+			// from one edge scan.
+			if g.forDepth > 0 || g.send != nil {
+				g.bad = true
+				return
+			}
+			cp := s
+			g.send = &cp
+			g.sendTime = c
+			g.guards = append([]guardAt(nil), g.path...)
+		case ir.SendTo, ir.SendToInNbrs, ir.CollectInNbrs:
+			// Targets other than out-neighbors have no reverse-CSR dual.
+			g.bad = true
+			return
+		case ir.ForMsgs:
+			g.forDepth++
+			g.scan(s.Body)
+			g.forDepth--
+		case ir.If:
+			g.path = append(g.path, guardAt{cond: s.Cond, at: c})
+			g.scan(s.Then)
+			g.path[len(g.path)-1].neg = true
+			g.scan(s.Else)
+			g.path = g.path[:len(g.path)-1]
+		}
+	}
+}
+
+// gatherExprOK reports whether e can be re-evaluated at gather time and
+// accumulates the node-property slots it reads. Locals and message
+// fields are per-execution scratch that no longer exists post-compute;
+// PickRandom would draw a fresh sample. allowEdge admits edge-property
+// reads (legal at the send site, never in a vertex-level guard).
+func gatherExprOK(e ir.Expr, allowEdge bool, reads map[int]bool) bool {
+	ok := true
+	ir.WalkExprs(e, func(x ir.Expr) {
+		switch x := x.(type) {
+		case ir.LocalRef, ir.MsgField:
+			ok = false
+		case ir.EdgePropRef:
+			if !allowEdge {
+				ok = false
+			}
+		case ir.Builtin:
+			if x.Op == ir.BPickRandom {
+				ok = false
+			}
+		case ir.PropRef:
+			reads[x.Slot] = true
+		}
+	})
+	return ok
+}
+
+// analyzeGatherState decides eligibility for one vertex state and, when
+// eligible, compiles its gather closures. The soundness rule is
+// position-based: every property slot read by a gather expression must
+// not be written at any clock after that expression's evaluation site
+// (the If for a guard, the send for cond/payload). Writes before the
+// site are fine — the value the push run read is then also the
+// post-compute value gather sees. Writes after the site — including
+// the divergent branch of a guard's own If — could make the gather
+// re-evaluation disagree with what push actually did, so they make the
+// state ineligible. The rule is conservative (clock order ignores
+// branch exclusivity after the send) but admits every generated
+// program that writes state before sending, pagerank and sssp
+// included.
+func (ex *exec) analyzeGatherState(vs *VertexState) gatherInfo {
+	g := gatherScan{maxWrite: make(map[int]int)}
+	g.scan(vs.Body)
+	if g.bad {
+		return gatherInfo{}
+	}
+	if g.send == nil {
+		// A silent state pushes nothing; gathering nothing matches it.
+		return gatherInfo{ok: true, none: true}
+	}
+	for _, gu := range g.guards {
+		reads := make(map[int]bool)
+		if !gatherExprOK(gu.cond, false, reads) {
+			return gatherInfo{}
+		}
+		for slot := range reads { //gm:nondeterministic-ok order-independent all-slots-pass check
+			if g.maxWrite[slot] > gu.at {
+				return gatherInfo{}
+			}
+		}
+	}
+	reads := make(map[int]bool)
+	if g.send.EdgeCond != nil && !gatherExprOK(g.send.EdgeCond, true, reads) {
+		return gatherInfo{}
+	}
+	for _, pe := range g.send.Payload {
+		if !gatherExprOK(pe, true, reads) {
+			return gatherInfo{}
+		}
+	}
+	for slot := range reads { //gm:nondeterministic-ok order-independent all-slots-pass check
+		if g.maxWrite[slot] > g.sendTime {
+			return gatherInfo{}
+		}
+	}
+
+	gi := gatherInfo{
+		ok:      true,
+		msgType: uint8(g.send.MsgType),
+		fields:  ex.p.Msgs[g.send.MsgType].Fields,
+	}
+	for _, gu := range g.guards {
+		f := ex.compileGatherExpr(gu.cond)
+		if gu.neg {
+			inner := f
+			f = func(env *vertexEnv) ir.Value { return ir.Bool(!inner(env).AsBool()) }
+		}
+		gi.guards = append(gi.guards, f)
+	}
+	if g.send.EdgeCond != nil {
+		gi.cond = ex.compileGatherExpr(g.send.EdgeCond)
+	}
+	gi.payload = make([]exprFn, len(g.send.Payload))
+	for i, pe := range g.send.Payload {
+		gi.payload[i] = ex.compileGatherExpr(pe)
+	}
+	return gi
+}
+
+// GatherEligible implements pregel.GatherSender. The master has already
+// picked this superstep's vertex state when the engine asks, so the
+// answer is per-state: a DirAuto run flips to pull only on supersteps
+// whose state was proven gather-convertible.
+func (ex *exec) GatherEligible(superstep int) bool {
+	return ex.state >= 0 && ex.state < len(ex.gather) && ex.gather[ex.state].ok
+}
+
+// Gather implements pregel.GatherSender: re-derive the message src
+// pushed along one out-edge, from src's post-compute state. It runs on
+// the pull hot path and must stay allocation-free; the compiled
+// closures it dispatches through are the same ones the push vertex
+// phase runs (TestWarmPullZeroAlloc covers the engine-side loop).
+func (ex *exec) Gather(gc *pregel.GatherContext, src graph.NodeID, edge int64) (pregel.Msg, bool) {
+	gi := &ex.gather[ex.state]
+	if gi.none {
+		return pregel.Msg{}, false
+	}
+	env := ex.envs[gc.ExecutorIndex()]
+	env.gc, env.gnode = gc, src
+	env.curEdge = edge
+	for _, guard := range gi.guards {
+		if !guard(env).AsBool() {
+			env.gc, env.curEdge = nil, -1
+			return pregel.Msg{}, false
+		}
+	}
+	if gi.cond != nil && !gi.cond(env).AsBool() {
+		env.gc, env.curEdge = nil, -1
+		return pregel.Msg{}, false
+	}
+	var m pregel.Msg
+	m.Type = gi.msgType
+	for i, pf := range gi.payload {
+		setField(&m, i, gi.fields[i], pf(env))
+	}
+	env.gc, env.curEdge = nil, -1
+	return m, true
+}
+
+// compileGatherExpr mirrors compileExpr with reads oriented at the
+// gather source: properties and builtins index env.gnode and globals
+// come from the GatherContext (same engine-level values the vertex
+// phase read, just fetched without a VertexContext). The eligibility
+// pass guarantees only this subset appears.
+func (ex *exec) compileGatherExpr(e ir.Expr) exprFn {
+	switch e := e.(type) {
+	case ir.Const:
+		v := e.V
+		return func(*vertexEnv) ir.Value { return v }
+	case ir.ScalarRef:
+		slot := e.Slot
+		switch ex.p.Scalars[slot].Kind {
+		case ir.KFloat:
+			return func(env *vertexEnv) ir.Value { return ir.Float(env.gc.GlobalFloat(1 + slot)) }
+		case ir.KBool:
+			return func(env *vertexEnv) ir.Value { return ir.Bool(env.gc.GlobalBool(1 + slot)) }
+		case ir.KNode:
+			return func(env *vertexEnv) ir.Value { return ir.Node(env.gc.GlobalNode(1 + slot)) }
+		default:
+			return func(env *vertexEnv) ir.Value { return ir.Int(env.gc.GlobalInt(1 + slot)) }
+		}
+	case ir.PropRef:
+		col := &ex.cols[e.Slot]
+		if col.f != nil {
+			f := col.f
+			return func(env *vertexEnv) ir.Value { return ir.Float(f[env.gnode]) }
+		}
+		iCol := col.i
+		k := ex.p.Props[e.Slot].Kind
+		return func(env *vertexEnv) ir.Value { return ir.Value{K: k, I: iCol[env.gnode]} }
+	case ir.EdgePropRef:
+		// env.curEdge holds the original out-edge position (the reverse
+		// CSR stores it), so edge-property reads need no reorientation.
+		col := &ex.cols[e.Slot]
+		if col.f != nil {
+			f := col.f
+			return func(env *vertexEnv) ir.Value { return ir.Float(f[env.curEdge]) }
+		}
+		iCol := col.i
+		k := ex.p.Props[e.Slot].Kind
+		return func(env *vertexEnv) ir.Value { return ir.Value{K: k, I: iCol[env.curEdge]} }
+	case ir.CurNode:
+		return func(env *vertexEnv) ir.Value { return ir.Node(env.gnode) }
+	case ir.Builtin:
+		switch e.Op {
+		case ir.BNumNodes:
+			return func(env *vertexEnv) ir.Value { return ir.Int(int64(env.gc.NumNodes())) }
+		case ir.BNumEdges:
+			m := ex.g.NumEdges()
+			return func(*vertexEnv) ir.Value { return ir.Int(m) }
+		case ir.BDegree:
+			return func(env *vertexEnv) ir.Value { return ir.Int(int64(env.gc.OutDegree(env.gnode))) }
+		case ir.BNodeId:
+			return func(env *vertexEnv) ir.Value { return ir.Int(int64(env.gnode)) }
+		}
+	case ir.Binary:
+		return compileBinary(e.Op, ex.compileGatherExpr(e.L), ex.compileGatherExpr(e.R))
+	case ir.Unary:
+		x := ex.compileGatherExpr(e.X)
+		if e.Op == ast.UnNot {
+			return func(env *vertexEnv) ir.Value { return ir.Bool(!x(env).AsBool()) }
+		}
+		return func(env *vertexEnv) ir.Value {
+			v := x(env)
+			if v.K == ir.KFloat {
+				return ir.Float(-v.F)
+			}
+			return ir.Value{K: v.K, I: -v.I}
+		}
+	case ir.Ternary:
+		cond := ex.compileGatherExpr(e.Cond)
+		th := ex.compileGatherExpr(e.Then)
+		el := ex.compileGatherExpr(e.Else)
+		return func(env *vertexEnv) ir.Value {
+			if cond(env).AsBool() {
+				return th(env)
+			}
+			return el(env)
+		}
+	}
+	panic("machine: expression escaped the gather eligibility pass")
+}

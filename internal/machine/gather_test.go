@@ -1,0 +1,148 @@
+package machine
+
+import (
+	"reflect"
+	"testing"
+
+	"gmpregel/internal/gm/ast"
+	"gmpregel/internal/graph"
+	"gmpregel/internal/graph/gen"
+	"gmpregel/internal/ir"
+	"gmpregel/internal/pregel"
+)
+
+// testExecFor builds the minimal exec needed to run the gather
+// eligibility pass outside a full Run.
+func testExecFor(p *Program, g *graph.Directed) *exec {
+	ex := &exec{p: p, g: g}
+	ex.cols = make([]column, len(p.Props))
+	for i, pd := range p.Props {
+		n := g.NumNodes()
+		if pd.IsEdge {
+			n = int(g.NumEdges())
+		}
+		if pd.Kind == ir.KFloat {
+			ex.cols[i].f = make([]float64, n)
+		} else {
+			ex.cols[i].i = make([]int64, n)
+		}
+	}
+	return ex
+}
+
+// TestGatherAnalysisRules exercises the eligibility pass rule by rule:
+// the unique-send and out-neighbor-only structure checks, the
+// position-based written-after-read-site check for guards and payloads,
+// and the expression subset (no locals, message fields, or random
+// draws).
+func TestGatherAnalysisRules(t *testing.T) {
+	prop := func(slot int) ir.Expr { return ir.PropRef{Slot: slot, Name: "p"} }
+	send := func(payload ...ir.Expr) ir.Stmt { return ir.SendToNbrs{MsgType: 0, Payload: payload} }
+	setA := ir.SetProp{Slot: 0, Name: "a", Op: ast.OpSet, RHS: ir.Const{V: ir.Int(1)}}
+	cases := []struct {
+		name     string
+		body     []ir.Stmt
+		ok, none bool
+	}{
+		{"plain send", []ir.Stmt{send(prop(0))}, true, false},
+		{"no send", []ir.Stmt{setA}, true, true},
+		{"write before send", []ir.Stmt{setA, send(prop(0))}, true, false},
+		{"write after send", []ir.Stmt{send(prop(0)), setA}, false, false},
+		{"unrelated write after send", []ir.Stmt{send(prop(1)), setA}, true, false},
+		{"guard prop stable", []ir.Stmt{ir.If{Cond: prop(0), Then: []ir.Stmt{send()}}}, true, false},
+		{"guard prop written in branch", []ir.Stmt{ir.If{Cond: prop(0), Then: []ir.Stmt{setA, send()}}}, false, false},
+		{"guard prop written in else", []ir.Stmt{ir.If{Cond: prop(0), Then: []ir.Stmt{send()}, Else: []ir.Stmt{setA}}}, false, false},
+		{"guard prop written before guard", []ir.Stmt{setA, ir.If{Cond: prop(0), Then: []ir.Stmt{send()}}}, true, false},
+		{"two sends", []ir.Stmt{send(prop(0)), send(prop(0))}, false, false},
+		{"send under formsgs", []ir.Stmt{ir.ForMsgs{MsgType: 0, Body: []ir.Stmt{send()}}}, false, false},
+		{"sendto", []ir.Stmt{ir.SendTo{MsgType: 0, Target: ir.CurNode{}}}, false, false},
+		{"sendtoinnbrs", []ir.Stmt{ir.SendToInNbrs{MsgType: 0}}, false, false},
+		{"collectinnbrs", []ir.Stmt{ir.CollectInNbrs{MsgType: 0}}, false, false},
+		{"local payload", []ir.Stmt{send(ir.LocalRef{Slot: 0, Name: "l"})}, false, false},
+		{"msgfield payload", []ir.Stmt{send(ir.MsgField{Idx: 0, K: ir.KInt})}, false, false},
+		{"random payload", []ir.Stmt{send(ir.Builtin{Op: ir.BPickRandom})}, false, false},
+		{"edgeprop in guard", []ir.Stmt{ir.If{Cond: ir.EdgePropRef{Slot: 2, Name: "w"}, Then: []ir.Stmt{send()}}}, false, false},
+		{"degree payload", []ir.Stmt{send(ir.Binary{Op: ast.BinDiv, L: prop(0), R: ir.Builtin{Op: ir.BDegree}})}, true, false},
+	}
+	p := &Program{
+		Name: "t",
+		Props: []PropDecl{
+			{Name: "a", Kind: ir.KInt},
+			{Name: "b", Kind: ir.KInt},
+			{Name: "w", Kind: ir.KInt, IsEdge: true},
+		},
+		Msgs: []MsgSchema{{Name: "m", Fields: []ir.Kind{ir.KInt}}},
+	}
+	g := gen.Ring(4)
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			ex := testExecFor(p, g)
+			gi := ex.analyzeGatherState(&VertexState{Name: "s", Body: tc.body, Locals: []ir.Kind{ir.KInt}})
+			if gi.ok != tc.ok || gi.none != tc.none {
+				t.Fatalf("ok=%v none=%v, want ok=%v none=%v", gi.ok, gi.none, tc.ok, tc.none)
+			}
+		})
+	}
+}
+
+// TestGatherDirectionalEquivalence runs every hand-built program under
+// push, pull, and auto direction and requires bit-identical results,
+// return values, and engine statistics. Programs with ineligible states
+// silently stay in push (the engine asks per superstep), so the whole
+// suite must pass regardless of eligibility — and at least one
+// program/graph pair must actually take the pull path.
+func TestGatherDirectionalEquivalence(t *testing.T) {
+	progs := []*Program{avgProgram(), nbrSumProgram(), floatNodePayloadProgram(), loopProgram(), relaxProgram()}
+	graphs := []*graph.Directed{
+		gen.Ring(12),
+		gen.Random(40, 200, 3),
+		gen.TwitterLike(60, 4, 4),
+	}
+	pulled := 0
+	for _, p := range progs {
+		for gi, g := range graphs {
+			bind := Bindings{
+				Int:         map[string]int64{"K": 10},
+				NodePropInt: map[string][]int64{"age": seqInts(g.NumNodes(), 60), "cnt": seqInts(g.NumNodes(), 9), "bar": seqInts(g.NumNodes(), 100), "dist": seqInts(g.NumNodes(), 50)},
+				EdgePropInt: map[string][]int64{"len": seqInts(int(g.NumEdges()), 12)},
+			}
+			base, err := Run(p, g, bind, pregel.Config{NumWorkers: 3, Seed: 5})
+			if err != nil {
+				t.Fatalf("%s/g%d push: %v", p.Name, gi, err)
+			}
+			for _, dir := range []pregel.Direction{pregel.DirPull, pregel.DirAuto} {
+				var trace pregel.DirectionTrace
+				got, err := Run(p, g, bind, pregel.Config{NumWorkers: 3, Seed: 5, Direction: dir, DirTrace: &trace})
+				if err != nil {
+					t.Fatalf("%s/g%d %v: %v", p.Name, gi, dir, err)
+				}
+				if !reflect.DeepEqual(base.Stats, got.Stats) {
+					t.Fatalf("%s/g%d %v: stats diverge:\npush: %+v\n%v: %+v", p.Name, gi, dir, base.Stats, dir, got.Stats)
+				}
+				for pi, pd := range p.Props {
+					if pd.IsEdge {
+						continue
+					}
+					bc, gc := base.cols[pi], got.cols[pi]
+					for v := 0; v < g.NumNodes(); v++ {
+						if bc.i != nil && bc.i[v] != gc.i[v] {
+							t.Fatalf("%s/g%d %v: prop %s[%d] = %d vs %d", p.Name, gi, dir, pd.Name, v, gc.i[v], bc.i[v])
+						}
+						if bc.f != nil && bc.f[v] != gc.f[v] {
+							t.Fatalf("%s/g%d %v: prop %s[%d] = %v vs %v", p.Name, gi, dir, pd.Name, v, gc.f[v], bc.f[v])
+						}
+					}
+				}
+				if base.HasRet != got.HasRet || base.Ret != got.Ret {
+					t.Fatalf("%s/g%d %v: return diverges: %v vs %v", p.Name, gi, dir, got.Ret, base.Ret)
+				}
+				if dir == pregel.DirPull {
+					pulled += trace.PullSteps
+				}
+			}
+		}
+	}
+	if pulled == 0 {
+		t.Fatal("no program/graph pair ever took the pull path — eligibility pass too strict")
+	}
+}

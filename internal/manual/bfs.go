@@ -1,0 +1,83 @@
+package manual
+
+import (
+	"encoding/binary"
+
+	"gmpregel/internal/graph"
+	"gmpregel/internal/pregel"
+)
+
+// BFS is the manual Pregel job for breadth-first level labeling from a
+// root — the canonical direction-optimization workload (Beamer et al.):
+// its frontier starts as a single vertex, swells to a large fraction of
+// the graph within a few supersteps, and collapses again, so a
+// per-superstep push/pull choice pays off where fixed-direction
+// execution cannot. Every vertex votes to halt every step; frontier
+// members are re-woken by messages, exactly like hand-written GPS BFS.
+type BFS struct {
+	Root graph.NodeID
+	// Level[v] is v's BFS depth, -1 while unvisited.
+	Level []int64
+}
+
+// Schema declares the single empty-payload frontier message.
+func (j *BFS) Schema() pregel.Schema {
+	return pregel.Schema{MessagePayloadBytes: []int{0}}
+}
+
+// MasterCompute is empty: termination is by quiescence.
+func (j *BFS) MasterCompute(mc *pregel.MasterContext) {}
+
+// VertexCompute labels newly reached vertices with the superstep number
+// and forwards the frontier.
+func (j *BFS) VertexCompute(vc *pregel.VertexContext) {
+	v := vc.ID()
+	s := vc.Superstep()
+	if s == 0 {
+		if v == j.Root {
+			j.Level[v] = 0
+			vc.SendToAllNbrs(pregel.Msg{})
+		} else {
+			j.Level[v] = -1
+		}
+		vc.VoteToHalt()
+		return
+	}
+	if j.Level[v] < 0 && len(vc.Messages()) > 0 {
+		j.Level[v] = int64(s)
+		vc.SendToAllNbrs(pregel.Msg{})
+	}
+	vc.VoteToHalt()
+}
+
+// GatherEligible: every superstep's sends are gather-derivable — a
+// vertex pushes (an empty message to all out-neighbors) exactly when it
+// set its level this superstep, and levels are never rewritten, so
+// Level[src] == superstep identifies this step's senders from
+// post-compute state alone.
+func (j *BFS) GatherEligible(superstep int) bool { return true }
+
+// Gather re-derives the frontier message src pushed along one out-edge.
+func (j *BFS) Gather(gc *pregel.GatherContext, src graph.NodeID, edge int64) (pregel.Msg, bool) {
+	if j.Level[src] == int64(gc.Superstep()) {
+		return pregel.Msg{}, true
+	}
+	return pregel.Msg{}, false
+}
+
+// SnapshotState serializes the level array so crash recovery under
+// fault injection restores BFS exactly (Checkpointable).
+func (j *BFS) SnapshotState() []byte {
+	b := make([]byte, 8*len(j.Level))
+	for i, l := range j.Level {
+		binary.LittleEndian.PutUint64(b[8*i:], uint64(l))
+	}
+	return b
+}
+
+// RestoreState restores the level array from a snapshot.
+func (j *BFS) RestoreState(b []byte) {
+	for i := range j.Level {
+		j.Level[i] = int64(binary.LittleEndian.Uint64(b[8*i:]))
+	}
+}

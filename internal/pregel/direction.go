@@ -1,0 +1,417 @@
+package pregel
+
+import (
+	"math"
+
+	"gmpregel/internal/graph"
+)
+
+// Direction selects the engine's message execution direction.
+//
+// Push (the legacy default) is classic Pregel: senders append to
+// outboxes during vertex compute and a routing pass moves them into
+// destination inboxes. Pull inverts the data movement: after the vertex
+// phase, each destination worker *gathers* from its in-neighbors over
+// the prebuilt reverse CSR, re-evaluating the sender's message closure
+// in gather orientation. Pull skips outboxes and routing entirely, which
+// wins on dense frontiers (Beamer-style direction optimization: when
+// most vertices send, sequential reads over in-edges beat scattered
+// outbox writes plus a counting-sort).
+//
+// The two directions are semantics-free by construction: a pull step
+// rebuilds the exact inbox a push step would have routed — same
+// messages, same canonical per-destination order (source worker
+// ascending, then source vertex ascending, then out-edge order), same
+// combiner fold grouping, and the same Stats counters — so combined
+// Stats (including float AggSum grouping) are bit-identical across
+// directions. The direction-sweep bench and its CI gate enforce this.
+type Direction uint8
+
+const (
+	// DirPush always pushes (the legacy engine; zero new code on the hot
+	// path).
+	DirPush Direction = iota
+	// DirPull pulls on every superstep whose job state is
+	// gather-eligible (falling back to push on ineligible steps).
+	DirPull
+	// DirAuto picks per superstep: pull when the active frontier is
+	// dense (its out-edge mass reaches PullDensity of all edges) and the
+	// step is gather-eligible, push otherwise.
+	DirAuto
+)
+
+func (d Direction) String() string {
+	switch d {
+	case DirPush:
+		return "push"
+	case DirPull:
+		return "pull"
+	case DirAuto:
+		return "auto"
+	}
+	return "direction(?)"
+}
+
+// defaultPullDensity is the DirAuto threshold: pull when the active
+// frontier's out-edge mass is at least this fraction of all edges.
+// Beamer's heuristic uses edge counts with a ~1/α fraction around
+// 1/14–1/20; 1/16 lands in that band and is a power of two.
+const defaultPullDensity = 1.0 / 16
+
+// Direction bytes recorded in dirHistory (and the checkpoint codec).
+const (
+	dirPushByte uint8 = 0
+	dirPullByte uint8 = 1
+)
+
+// GatherSender is implemented by jobs that can re-derive, for any edge
+// (src → dst), the message src's VertexCompute would have pushed along
+// that edge this superstep — enabling the pull direction. The contract:
+//
+//   - GatherEligible(s) reports whether superstep s's compute is
+//     gather-derivable: every message it sends goes to all out-neighbors
+//     (optionally edge-filtered), the payload is a pure function of the
+//     sender's post-compute state (and globals/graph shape), and
+//     receiving a message has no side effect beyond delivery. When it
+//     returns false the engine pushes that superstep.
+//   - Gather(gc, src, edge) returns the message src sends along out-edge
+//     index `edge` this superstep, or ok=false when src sends nothing on
+//     that edge. It is called only for senders whose VertexCompute ran
+//     this superstep, after the vertex phase completed, and must not
+//     mutate job state (it may run concurrently from all executors).
+//     It must be allocation-free in steady state.
+type GatherSender interface {
+	Job
+	GatherEligible(superstep int) bool
+	Gather(gc *GatherContext, src graph.NodeID, edge int64) (Msg, bool)
+}
+
+// GatherContext is the read-only API surface available to Gather: the
+// superstep, graph shape, and the master's globals. One value lives on
+// each executor and is reused across every gather it performs; do not
+// retain it.
+type GatherContext struct {
+	e         *engine
+	ex        *executor
+	superstep int
+}
+
+// Superstep returns the superstep being gathered.
+func (gc *GatherContext) Superstep() int { return gc.superstep }
+
+// NumNodes returns the number of vertices in the graph.
+func (gc *GatherContext) NumNodes() int { return gc.e.g.NumNodes() }
+
+// NumEdges returns the number of edges in the graph.
+func (gc *GatherContext) NumEdges() int64 { return gc.e.g.NumEdges() }
+
+// OutDegree returns the out-degree of v (gathers typically need the
+// sender's degree, e.g. PageRank's rank/degree payload).
+func (gc *GatherContext) OutDegree(v graph.NodeID) int { return gc.e.g.OutDegree(v) }
+
+// GlobalInt reads an int global broadcast by the master this superstep.
+func (gc *GatherContext) GlobalInt(s int) int64 { return int64(gc.e.globals[s]) }
+
+// GlobalFloat reads a float global.
+func (gc *GatherContext) GlobalFloat(s int) float64 {
+	return math.Float64frombits(gc.e.globals[s])
+}
+
+// GlobalBool reads a bool global.
+func (gc *GatherContext) GlobalBool(s int) bool { return gc.e.globals[s] != 0 }
+
+// GlobalNode reads a node-ID global.
+func (gc *GatherContext) GlobalNode(s int) graph.NodeID {
+	return graph.NodeID(int32(uint32(gc.e.globals[s])))
+}
+
+// ExecutorIndex returns the index of the executor goroutine running
+// this gather, for jobs with executor-indexed scratch state.
+func (gc *GatherContext) ExecutorIndex() int { return gc.ex.id }
+
+// DirectionTrace records the direction the engine chose for each
+// executed superstep (Config.DirTrace). It lives outside Stats on
+// purpose: Stats must stay bit-identical between a forced-push and a
+// forced-pull run of the same job, while the trace differs by design.
+type DirectionTrace struct {
+	// Steps[s] is the direction superstep s executed ("push" or "pull").
+	Steps []string
+	// Switches counts adjacent supersteps that changed direction.
+	Switches int
+	// PullSteps counts supersteps executed in the pull direction.
+	PullSteps int
+}
+
+// gatherPlan is one worker's precomputed pull-phase schedule: for each
+// owned destination vertex (by local index), its in-edges sorted by
+// (owning worker of the source, source id, out-edge index) — exactly
+// the canonical order routing delivers pushed messages in. Sorting by
+// source id alone is not enough: under mod partitioning the owner is
+// not monotone in the id, so the plan is rebuilt per run from the
+// shared reverse CSR (which is (source id, edge) ordered per
+// destination) with a stable per-vertex counting sort by owner.
+type gatherPlan struct {
+	off   []int64 // per local index: range [off[li], off[li+1]) below
+	src   []graph.NodeID
+	edge  []int64 // out-edge index (for EdgeCond / edge-property reads)
+	srcW  []int32 // owning worker of src
+	srcLi []int32 // local index of src on its owning worker
+}
+
+// buildGatherPlans prebuilds the per-worker pull schedules. Called once
+// at engine construction when a pull-capable direction is configured,
+// so the pull hot path never allocates and never sorts.
+func (e *engine) buildGatherPlans() {
+	e.g.BuildIn()
+	e.gplans = make([]gatherPlan, e.numWorkers)
+	counts := make([]int32, e.numWorkers)
+	for w, wk := range e.workers {
+		gp := &e.gplans[w]
+		n := len(wk.ids)
+		gp.off = make([]int64, n+1)
+		total := 0
+		for _, v := range wk.ids {
+			total += e.g.InDegree(v)
+		}
+		gp.src = make([]graph.NodeID, total)
+		gp.edge = make([]int64, total)
+		gp.srcW = make([]int32, total)
+		gp.srcLi = make([]int32, total)
+		pos := 0
+		for li, v := range wk.ids {
+			gp.off[li] = int64(pos)
+			srcs := e.g.InNbrs(v)
+			idxs := e.g.InEdgeIndices(v)
+			// Stable counting sort of this vertex's in-edges by source
+			// owner; ties keep the reverse CSR's (source, edge) order.
+			for i := range counts {
+				counts[i] = 0
+			}
+			for _, u := range srcs {
+				counts[e.workerOf(u)]++
+			}
+			run := int32(0)
+			for i := range counts {
+				c := counts[i]
+				counts[i] = run
+				run += c
+			}
+			for i, u := range srcs {
+				ow := e.workerOf(u)
+				p := pos + int(counts[ow])
+				counts[ow]++
+				gp.src[p] = u
+				gp.edge[p] = idxs[i]
+				gp.srcW[p] = int32(ow)
+				// localOf must be evaluated on the owning worker: under
+				// degree partitioning it offsets by the owner's startID.
+				gp.srcLi[p] = int32(e.workers[ow].localOf(u))
+			}
+			pos += len(srcs)
+		}
+		gp.off[n] = int64(pos)
+		wk.ran = make([]bool, n)
+	}
+}
+
+// chooseDirection picks this superstep's direction. Called after the
+// master phase (the machine executor's master selects the superstep's
+// state there, which GatherEligible consults) and before the vertex
+// phase. Re-executed supersteps (rollback-and-replay) reuse the
+// recorded direction, so a recovered run replays the identical
+// push/pull schedule — the checkpoint codec persists dirHistory for the
+// same reason.
+func (e *engine) chooseDirection(step int) bool {
+	if !e.pullOn {
+		return false
+	}
+	if step < len(e.dirHistory) {
+		return e.dirHistory[step] == dirPullByte
+	}
+	pull := false
+	switch e.cfg.Direction {
+	case DirPull:
+		pull = e.gatherJob.GatherEligible(step)
+	case DirAuto:
+		if e.gatherJob.GatherEligible(step) {
+			// Frontier density: out-edge mass of the active set, from the
+			// O(1)-maintained per-chunk counters (an O(chunks) read, like
+			// the termination check — never an O(V) scan).
+			var front int64
+			for _, wk := range e.workers {
+				for ci := range wk.chunks {
+					front += wk.chunks[ci].frontEdges
+				}
+			}
+			den := e.cfg.PullDensity
+			if den <= 0 {
+				den = defaultPullDensity
+			}
+			pull = float64(front) >= den*float64(e.g.NumEdges())
+		}
+	}
+	b := dirPushByte
+	if pull {
+		b = dirPullByte
+	}
+	e.dirHistory = append(e.dirHistory, b)
+	return pull
+}
+
+// directionTrace materializes the user-facing trace from dirHistory.
+func (e *engine) directionTrace() *DirectionTrace {
+	tr := &DirectionTrace{Steps: make([]string, len(e.dirHistory))}
+	for i, b := range e.dirHistory {
+		if b == dirPullByte {
+			tr.Steps[i] = "pull"
+			tr.PullSteps++
+		} else {
+			tr.Steps[i] = "push"
+		}
+		if i > 0 && e.dirHistory[i] != e.dirHistory[i-1] {
+			tr.Switches++
+		}
+	}
+	return tr
+}
+
+// gatherMessages runs the pull phase: every worker's inbox for the next
+// superstep is rebuilt by gathering from in-neighbors on the executor
+// pool. Replaces routeMessages for pull supersteps.
+func (e *engine) gatherMessages(step int) {
+	// The gather rebuilds the inbox in RAM; any spill segment from the
+	// previous superstep is dead from here on (mirrors routeMessages).
+	for _, wk := range e.workers {
+		wk.spilled = false
+	}
+	e.runPhase(phasePull, step)
+}
+
+// gatherPhase drains per-destination-worker gather tasks. With stealing
+// disabled each executor gathers only its own worker's inbox.
+//
+//gm:noalloc
+func (x *executor) gatherPhase(step int) {
+	e := x.e
+	if e.noSteal {
+		e.workers[x.id].gatherInbox(x, step)
+		return
+	}
+	for {
+		t := int(e.taskCursor.Add(1)) - 1
+		if t >= len(e.workers) {
+			return
+		}
+		e.workers[t].gatherInbox(x, step)
+	}
+}
+
+// gatherInbox rebuilds wk's inbox by walking its gather plan: for each
+// owned vertex, its in-edges in canonical (source worker, source,
+// edge) order, calling the job's Gather for every sender that ran this
+// superstep. The result is bit-identical to what push routing would
+// have delivered:
+//
+//   - Order: the plan's order equals routing's (source shard asc →
+//     source worker asc → source local index asc → emission order).
+//   - Combining: push combining is source-worker-scoped, one slot per
+//     (source worker, destination, type), folded in first-touch
+//     emission order. The plan's owner-sorted runs make each (source
+//     worker, destination) group contiguous, so a per-type slot within
+//     the current run reproduces both the fold order and the
+//     post-combine count.
+//   - Counters: messages/bytes are accounted per appended slot with the
+//     same owner predicate push uses (source worker vs destination
+//     worker), so per-superstep totals match exactly; only the
+//     per-worker attribution moves (gather bills the destination's
+//     partial, push the sender's — Stats only ever sums partials).
+//
+// In pull supersteps an armed routing-family fault fires here instead:
+// the routing pass it targets does not run, and fail-stop semantics
+// make the substitution observationally equivalent (the failure
+// surfaces at the same barrier; rollback discards partial writes
+// wholesale).
+//
+//gm:noalloc
+func (wk *worker) gatherInbox(x *executor, step int) {
+	if wk.routeFaultOn {
+		wk.routeFaultOn = false
+		wk.phaseErr = &InjectedFault{Superstep: wk.faultStep, Worker: wk.index, Phase: wk.routeFault} //gm:alloc-ok fault-injection testing path; never armed in production runs
+	}
+	e := wk.e
+	gp := &e.gplans[wk.index]
+	gs := e.gatherJob
+	gc := &x.gc
+	gc.superstep = step
+	inFlat := wk.inFlat[:0]
+	var msgs, netMsgs, netBytes, localBytes int64
+	combining := wk.combiners != nil
+	n := len(wk.ids)
+	for li := 0; li < n; li++ {
+		wk.inOff[li] = int32(len(inFlat))
+		lo, hi := gp.off[li], gp.off[li+1]
+		groupW := int32(-1)
+		for p := lo; p < hi; p++ {
+			sw := gp.srcW[p]
+			if !e.workers[sw].ran[gp.srcLi[p]] {
+				continue
+			}
+			m, ok := gs.Gather(gc, gp.src[p], gp.edge[p]) //gm:alloc-ok job contract: Gather must be allocation-free; the warm-pull perf test gates the full cycle at AllocsPerRun==0
+			if !ok {
+				continue
+			}
+			m.Dst = wk.ids[li]
+			if combining {
+				if sw != groupW {
+					groupW = sw
+					for t := range x.gslot {
+						x.gslot[t] = -1
+					}
+				}
+				if cs := wk.combiners; int(m.Type) < len(cs) && cs[m.Type] != nil {
+					if s := x.gslot[m.Type]; s >= 0 {
+						cs[m.Type](&inFlat[s], m) //gm:alloc-ok job-registered combiner funcs fold in place into the existing slot, as on the push path
+						continue
+					}
+					x.gslot[m.Type] = int32(len(inFlat))
+				}
+			}
+			inFlat = append(inFlat, m) //gm:alloc-ok inbox grows to its high-water mark, then capacity is reused; steady state allocation-free
+			msgs++
+			size := wk.baseSize
+			if int(m.Type) < len(wk.msgSize) {
+				size = wk.msgSize[m.Type]
+			}
+			if int(sw) != wk.index {
+				netMsgs++
+				netBytes += size
+			} else {
+				localBytes += size
+			}
+		}
+	}
+	wk.inFlat = inFlat
+	wk.inOff[n] = int32(len(inFlat))
+	wk.inTotal = len(inFlat)
+	wk.inDepth.Store(int64(wk.inTotal))
+	// Reactivate message recipients, maintaining the chunk active and
+	// frontier counters exactly as routePrefix does on the push path.
+	for ci := range wk.chunks {
+		ck := &wk.chunks[ci]
+		for li := ck.lo; li < ck.hi; li++ {
+			if wk.inOff[li+1] > wk.inOff[li] && !wk.active[li] {
+				wk.active[li] = true
+				ck.numActive++
+				ck.frontEdges += int64(e.g.OutDegree(wk.ids[li]))
+			}
+		}
+	}
+	// Gather counters merge into this worker's partials: the vertex-phase
+	// epilogue already folded the chunk counters (pull steps emit no
+	// pushes, so those carry only calls), and the barrier merges one
+	// partial per worker either way.
+	wk.msgs += msgs
+	wk.netMsgs += netMsgs
+	wk.netBytes += netBytes
+	wk.localBytes += localBytes
+}

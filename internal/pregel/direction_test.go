@@ -1,0 +1,376 @@
+package pregel
+
+import (
+	"context"
+	"encoding/binary"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"gmpregel/internal/graph"
+	"gmpregel/internal/graph/gen"
+)
+
+// dirBFSJob is an in-package BFS: the canonical direction-optimization
+// workload (single-vertex frontier that swells and collapses).
+type dirBFSJob struct {
+	root  graph.NodeID
+	level []int64
+}
+
+func (j *dirBFSJob) Schema() Schema                  { return Schema{MessagePayloadBytes: []int{0}} }
+func (j *dirBFSJob) MasterCompute(mc *MasterContext) {}
+func (j *dirBFSJob) VertexCompute(vc *VertexContext) {
+	v := vc.ID()
+	s := vc.Superstep()
+	if s == 0 {
+		if v == j.root {
+			j.level[v] = 0
+			vc.SendToAllNbrs(Msg{})
+		} else {
+			j.level[v] = -1
+		}
+		vc.VoteToHalt()
+		return
+	}
+	if j.level[v] < 0 && len(vc.Messages()) > 0 {
+		j.level[v] = int64(s)
+		vc.SendToAllNbrs(Msg{})
+	}
+	vc.VoteToHalt()
+}
+func (j *dirBFSJob) GatherEligible(superstep int) bool { return true }
+
+// Checkpointable: crash recovery must restore the level array, not just
+// engine state.
+func (j *dirBFSJob) SnapshotState() []byte {
+	b := make([]byte, 8*len(j.level))
+	for i, l := range j.level {
+		binary.LittleEndian.PutUint64(b[8*i:], uint64(l))
+	}
+	return b
+}
+func (j *dirBFSJob) RestoreState(b []byte) {
+	for i := range j.level {
+		j.level[i] = int64(binary.LittleEndian.Uint64(b[8*i:]))
+	}
+}
+func (j *dirBFSJob) Gather(gc *GatherContext, src graph.NodeID, edge int64) (Msg, bool) {
+	if j.level[src] == int64(gc.Superstep()) {
+		return Msg{}, true
+	}
+	return Msg{}, false
+}
+
+// dirRankJob is a PageRank-shaped dense workload: float payloads, a
+// float-sum combiner, and a float AggSum — the three places where
+// reordering a fold would show up as bit drift.
+type dirRankJob struct {
+	rank     []float64
+	iters    int
+	combined bool
+}
+
+func (j *dirRankJob) Schema() Schema {
+	s := Schema{
+		MessagePayloadBytes: []int{8},
+		Aggregators:         []AggSpec{{Name: "diff", Kind: AggKindFloat, Op: AggSum}},
+	}
+	if j.combined {
+		s.Combiners = []Combiner{func(into *Msg, m Msg) {
+			into.SetFloat(0, into.Float(0)+m.Float(0))
+		}}
+	}
+	return s
+}
+func (j *dirRankJob) MasterCompute(mc *MasterContext) {
+	if mc.Superstep() == j.iters {
+		mc.ReturnFloat(mc.AggFloat(0))
+		mc.Halt()
+	}
+}
+func (j *dirRankJob) VertexCompute(vc *VertexContext) {
+	v := vc.ID()
+	s := vc.Superstep()
+	if s == 0 {
+		j.rank[v] = 1 / float64(vc.NumNodes())
+		return
+	}
+	sum := 0.0
+	for _, m := range vc.Messages() {
+		sum += m.Float(0)
+	}
+	if s >= 2 {
+		val := 0.15/float64(vc.NumNodes()) + 0.85*sum
+		d := val - j.rank[v]
+		if d < 0 {
+			d = -d
+		}
+		vc.AggFloat(0, d)
+		j.rank[v] = val
+	}
+	if deg := vc.OutDegree(); deg > 0 {
+		var m Msg
+		m.SetFloat(0, j.rank[v]/float64(deg))
+		vc.SendToAllNbrs(m)
+	}
+}
+func (j *dirRankJob) GatherEligible(superstep int) bool { return superstep >= 1 }
+func (j *dirRankJob) Gather(gc *GatherContext, src graph.NodeID, edge int64) (Msg, bool) {
+	var m Msg
+	m.SetFloat(0, j.rank[src]/float64(gc.OutDegree(src)))
+	return m, true
+}
+
+// runDirBFS runs BFS under cfg and returns levels and stats.
+func runDirBFS(t *testing.T, g *graph.Directed, cfg Config) ([]int64, Stats) {
+	t.Helper()
+	j := &dirBFSJob{root: 0, level: make([]int64, g.NumNodes())}
+	st, err := Run(g, j, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return j.level, st
+}
+
+// TestDirectionStatsBitIdentity is the tentpole contract: push, pull,
+// and auto runs of the same job produce bit-identical Stats (including
+// the per-step trace) and bit-identical vertex state, across worker
+// counts, chunk sizes, stealing, partitioners, and routing modes.
+func TestDirectionStatsBitIdentity(t *testing.T) {
+	g := gen.TwitterLike(300, 6, 1)
+	for _, workers := range []int{1, 2, 7} {
+		for _, chunk := range []int{1, 64} {
+			for _, noSteal := range []bool{false, true} {
+				for _, part := range []PartitionKind{PartitionMod, PartitionDegree} {
+					base := Config{
+						NumWorkers: workers, Seed: 9, TraceSteps: true,
+						ChunkSize: chunk, NoSteal: noSteal, Partitioner: part,
+					}
+					name := fmt.Sprintf("w%d-c%d-steal%v-part%d", workers, chunk, !noSteal, part)
+					t.Run(name, func(t *testing.T) {
+						pushCfg := base
+						pushCfg.Direction = DirPush
+						pushLvl, pushSt := runDirBFS(t, g, pushCfg)
+						for _, dir := range []Direction{DirPull, DirAuto} {
+							cfg := base
+							cfg.Direction = dir
+							var tr DirectionTrace
+							cfg.DirTrace = &tr
+							lvl, st := runDirBFS(t, g, cfg)
+							if !reflect.DeepEqual(pushLvl, lvl) {
+								t.Errorf("%v: levels differ from push", dir)
+							}
+							if !reflect.DeepEqual(pushSt, st) {
+								t.Errorf("%v: stats differ from push:\npush: %+v\n%v:  %+v", dir, pushSt, dir, st)
+							}
+							if dir == DirPull && tr.PullSteps == 0 {
+								t.Errorf("DirPull executed no pull supersteps: %v", tr.Steps)
+							}
+						}
+					})
+				}
+			}
+		}
+	}
+}
+
+// TestDirectionRankBitIdentity covers the float-fold hazards: plain and
+// combined float payloads plus a float AggSum must fold in the same
+// order either direction, under both routing modes.
+func TestDirectionRankBitIdentity(t *testing.T) {
+	g := gen.Random(250, 2500, 4)
+	for _, combined := range []bool{false, true} {
+		for _, routing := range []RoutingMode{RouteEager, RouteBarrier} {
+			for _, workers := range []int{1, 3, 7} {
+				name := fmt.Sprintf("combined%v-routing%d-w%d", combined, routing, workers)
+				t.Run(name, func(t *testing.T) {
+					var ranks [][]float64
+					var stats []Stats
+					for _, dir := range []Direction{DirPush, DirPull} {
+						j := &dirRankJob{rank: make([]float64, g.NumNodes()), iters: 8, combined: combined}
+						st, err := Run(g, j, Config{
+							NumWorkers: workers, Seed: 2, TraceSteps: true,
+							Routing: routing, Direction: dir,
+						})
+						if err != nil {
+							t.Fatal(err)
+						}
+						ranks = append(ranks, j.rank)
+						stats = append(stats, st)
+					}
+					if !reflect.DeepEqual(ranks[0], ranks[1]) {
+						t.Error("ranks differ between push and pull (float fold order drifted)")
+					}
+					if !reflect.DeepEqual(stats[0], stats[1]) {
+						t.Errorf("stats differ:\npush: %+v\npull: %+v", stats[0], stats[1])
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestDirAutoSwitchesOnBFS pins the heuristic's observable behavior:
+// on a BFS whose frontier swells past the density threshold, DirAuto
+// chooses pull for the dense middle supersteps and push for the sparse
+// fringe — at least one switch each way.
+func TestDirAutoSwitchesOnBFS(t *testing.T) {
+	g := gen.TwitterLike(2000, 8, 3)
+	cfg := Config{NumWorkers: 4, Seed: 1, Direction: DirAuto}
+	var tr DirectionTrace
+	cfg.DirTrace = &tr
+	runDirBFS(t, g, cfg)
+	if tr.PullSteps == 0 {
+		t.Fatalf("DirAuto never pulled on a dense-frontier BFS: %v", tr.Steps)
+	}
+	if tr.PullSteps == len(tr.Steps) {
+		t.Fatalf("DirAuto never pushed (sparse fringe should stay push): %v", tr.Steps)
+	}
+	if tr.Switches == 0 {
+		t.Fatalf("DirAuto never switched direction: %v", tr.Steps)
+	}
+}
+
+// TestDirAutoCrashRecoveryBitIdentity: a crash-and-replay DirAuto run
+// must re-execute the identical push/pull schedule (the codec persists
+// dirHistory) and converge to bit-identical levels and Stats.
+func TestDirAutoCrashRecoveryBitIdentity(t *testing.T) {
+	g := gen.TwitterLike(800, 6, 7)
+	base := Config{NumWorkers: 4, Seed: 5, TraceSteps: true, Direction: DirAuto}
+	var cleanTr DirectionTrace
+	cleanCfg := base
+	cleanCfg.DirTrace = &cleanTr
+	cleanLvl, cleanSt := runDirBFS(t, g, cleanCfg)
+	if cleanTr.PullSteps == 0 {
+		t.Fatalf("workload never pulled; recovery test needs a mixed schedule: %v", cleanTr.Steps)
+	}
+
+	var faultTr DirectionTrace
+	faultCfg := base
+	faultCfg.DirTrace = &faultTr
+	faultCfg.CheckpointEvery = 2
+	faultCfg.Faults = FaultPlan{{Superstep: 3, Worker: 1}}
+	faultLvl, faultSt := runDirBFS(t, g, faultCfg)
+
+	if !reflect.DeepEqual(cleanLvl, faultLvl) {
+		t.Error("levels differ after DirAuto crash recovery")
+	}
+	if a, b := statsModuloRecovery(cleanSt), statsModuloRecovery(faultSt); !reflect.DeepEqual(a, b) {
+		t.Errorf("stats differ after DirAuto crash recovery:\nclean:  %+v\nfaulty: %+v", a, b)
+	}
+	if faultSt.Recoveries != 1 {
+		t.Errorf("Recoveries = %d, want 1", faultSt.Recoveries)
+	}
+	if !reflect.DeepEqual(cleanTr.Steps, faultTr.Steps) {
+		t.Errorf("replay changed the direction schedule:\nclean:  %v\nfaulty: %v", cleanTr.Steps, faultTr.Steps)
+	}
+}
+
+// TestDirPullRoutingFaultRecovers: an armed routing-family fault in a
+// pull superstep fires at the gather instead and recovers bit-identically.
+func TestDirPullRoutingFaultRecovers(t *testing.T) {
+	g := gen.TwitterLike(400, 6, 2)
+	base := Config{NumWorkers: 3, Seed: 4, TraceSteps: true, Direction: DirPull}
+	cleanLvl, cleanSt := runDirBFS(t, g, base)
+
+	for _, phase := range []FaultPhase{FaultRouting, FaultRoutePrefix} {
+		faultCfg := base
+		faultCfg.CheckpointEvery = 2
+		faultCfg.Faults = FaultPlan{{Superstep: 2, Worker: 1, Phase: phase}}
+		lvl, st := runDirBFS(t, g, faultCfg)
+		if !reflect.DeepEqual(cleanLvl, lvl) {
+			t.Errorf("%v: levels differ after pull-step fault recovery", phase)
+		}
+		if a, b := statsModuloRecovery(cleanSt), statsModuloRecovery(st); !reflect.DeepEqual(a, b) {
+			t.Errorf("%v: stats differ after pull-step fault recovery:\n%+v\n%+v", phase, a, b)
+		}
+		if st.Recoveries != 1 {
+			t.Errorf("%v: Recoveries = %d, want 1", phase, st.Recoveries)
+		}
+	}
+}
+
+// TestWarmPullZeroAlloc: a warm pull superstep — suppressed-send vertex
+// phase plus the reverse-CSR gather on the persistent pool — must
+// allocate nothing, on both the plain and the combined inbox path,
+// with and without stealing.
+func TestWarmPullZeroAlloc(t *testing.T) {
+	const n = 256
+	g := gen.TwitterLike(n, 4, 3)
+	cases := []struct {
+		name     string
+		combined bool
+		cfg      Config
+	}{
+		{"plain", false, Config{NumWorkers: 4, Seed: 1, Direction: DirPull}},
+		{"plain-nosteal", false, Config{NumWorkers: 4, Seed: 1, Direction: DirPull, NoSteal: true}},
+		{"plain-degree", false, Config{NumWorkers: 4, Seed: 1, Direction: DirPull, Partitioner: PartitionDegree}},
+		{"combined", true, Config{NumWorkers: 4, Seed: 1, Direction: DirPull}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			j := &dirRankJob{rank: make([]float64, n), iters: 1 << 20, combined: tc.combined}
+			e := newEngine(g, j, tc.cfg.withDefaults())
+			defer e.stop()
+			if !e.pullOn {
+				t.Fatal("engine did not arm pull for a GatherSender job")
+			}
+			e.pullStep = true
+			for _, wk := range e.workers {
+				wk.pull = true
+			}
+			step := 1
+			cycle := func() {
+				e.runVertexPhase(step)
+				e.gatherMessages(step)
+				step++
+			}
+			for i := 0; i < 3; i++ {
+				cycle() // reach high-water inbox capacity
+			}
+			if a := testing.AllocsPerRun(10, cycle); a != 0 {
+				t.Fatalf("warm pull superstep allocates %v per run, want 0", a)
+			}
+			for _, x := range e.executors {
+				if x.err != nil {
+					t.Fatalf("executor %d failed: %v", x.id, x.err)
+				}
+			}
+			for _, wk := range e.workers {
+				for ci := range wk.chunks {
+					if err := wk.chunks[ci].err; err != nil {
+						t.Fatalf("worker %d chunk %d failed: %v", wk.index, ci, err)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestFrontierCounterInvariant: after a run, every chunk's frontEdges
+// equals the out-degree sum of its active vertices (the counter is
+// maintained incrementally and never recomputed on the hot path).
+func TestFrontierCounterInvariant(t *testing.T) {
+	g := gen.TwitterLike(500, 5, 6)
+	j := &dirRankJob{rank: make([]float64, g.NumNodes()), iters: 5}
+	e := newEngine(g, j, Config{NumWorkers: 4, Seed: 1, Direction: DirAuto}.withDefaults())
+	defer e.stop()
+	if err := e.loop(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	for _, wk := range e.workers {
+		for ci := range wk.chunks {
+			ck := &wk.chunks[ci]
+			want := int64(0)
+			for li := ck.lo; li < ck.hi; li++ {
+				if wk.active[li] {
+					want += int64(g.OutDegree(wk.ids[li]))
+				}
+			}
+			if ck.frontEdges != want {
+				t.Fatalf("worker %d chunk %d frontEdges = %d, want %d", wk.index, ci, ck.frontEdges, want)
+			}
+		}
+	}
+}
